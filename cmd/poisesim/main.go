@@ -1,0 +1,117 @@
+// Command poisesim runs one workload on the simulated GPU under a
+// chosen warp-scheduling policy and prints the headline metrics.
+//
+// Usage:
+//
+//	poisesim -workload ii -policy fixed -n 8 -p 2 -sms 8 -size small
+//
+// Policies: gto (baseline greedy-then-oldest, maximum warps) and
+// fixed (pin the warp-tuple to -n/-p). The richer policies (swl, pcal,
+// poise, ...) are exercised via cmd/poisebench, which also feeds them
+// the profiles and trained models they need.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"poise"
+
+	"poise/internal/config"
+	"poise/internal/sim"
+	"poise/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "ii", "workload name (see -list)")
+		policy   = flag.String("policy", "gto", "policy: gto | fixed")
+		n        = flag.Int("n", 0, "fixed policy: vital warps N (0 = max)")
+		p        = flag.Int("p", 0, "fixed policy: polluting warps p (0 = N)")
+		sms      = flag.Int("sms", 8, "number of SMs (scaled memory system)")
+		size     = flag.String("size", "small", "workload size: small | medium | large")
+		list     = flag.Bool("list", false, "list workloads and exit")
+		l1x      = flag.Int("l1x", 1, "multiply L1 capacity (Pbest probes use 64)")
+	)
+	flag.Parse()
+
+	cat := workloads.NewCatalogue(parseSize(*size))
+	if *list {
+		fmt.Println(strings.Join(cat.Names(), "\n"))
+		return
+	}
+	w, err := cat.Get(*workload)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := config.Default().Scale(*sms)
+	if *l1x > 1 {
+		cfg.L1.SizeBytes *= *l1x
+	}
+	var pol sim.Policy
+	switch *policy {
+	case "gto":
+		pol = sim.GTO{}
+	case "fixed":
+		pol = sim.Fixed{N: *n, P: *p}
+	case "poise", "apcm", "ccws", "random-restart":
+		var err error
+		pol, err = poise.NewPolicy(poise.PolicySpec{Name: *policy, Seed: 1})
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	start := time.Now()
+	res, err := sim.RunWorkload(cfg, w, pol, sim.RunOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("workload        %s (%d kernels)\n", res.Workload, len(res.PerKernel))
+	fmt.Printf("policy          %s\n", res.Policy)
+	fmt.Printf("cycles          %d\n", res.Cycles)
+	fmt.Printf("instructions    %d\n", res.Instructions)
+	fmt.Printf("IPC             %.4f\n", res.IPC)
+	fmt.Printf("L1 hit rate     %.2f%%  (intra %.2f%% / inter %.2f%% of accesses)\n",
+		100*res.L1.HitRate(), 100*res.L1.IntraWarpHitRate(),
+		100*float64(res.L1.InterWarpHits)/max1(float64(res.L1.Accesses)))
+	fmt.Printf("AML             %.1f cycles\n", res.AML)
+	fmt.Printf("L2 accesses     %d (hit rate %.2f%%)\n", res.L2Acc,
+		100*float64(res.L2Hits)/max1(float64(res.L2Acc)))
+	fmt.Printf("DRAM accesses   %d\n", res.DRAMAcc)
+	fmt.Printf("sim wall time   %v\n", elapsed.Round(time.Millisecond))
+}
+
+func parseSize(s string) workloads.Size {
+	switch strings.ToLower(s) {
+	case "small":
+		return workloads.Small
+	case "medium":
+		return workloads.Medium
+	case "large":
+		return workloads.Large
+	default:
+		fatal(fmt.Errorf("unknown size %q", s))
+		return workloads.Small
+	}
+}
+
+func max1(x float64) float64 {
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "poisesim:", err)
+	os.Exit(1)
+}

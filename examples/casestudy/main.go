@@ -1,0 +1,70 @@
+// Casestudy: the paper's Fig. 17 walkthrough on the unseen bfs
+// workload — overlay the tuples Poise chooses at runtime on the
+// statically profiled {N, p} landscape to see whether the predictions
+// land in the high-performance zone.
+//
+//	go run ./examples/casestudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"poise"
+)
+
+func main() {
+	h := poise.NewHarness(poise.HarnessOptions{
+		SMs:      8,
+		CacheDir: ".poise-cache",
+	})
+
+	fmt.Println("profiling bfs statically and running Poise on it (unseen during training)...")
+	res, err := h.Fig17()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pr := res.Profile
+	grid := make([][]byte, pr.MaxN+1)
+	for p := range grid {
+		grid[p] = []byte(strings.Repeat(" ", pr.MaxN+1))
+	}
+	for _, pt := range pr.Points {
+		ch := byte('.')
+		switch {
+		case pt.Speedup >= 1.10:
+			ch = '#'
+		case pt.Speedup >= 1.02:
+			ch = '+'
+		case pt.Speedup <= 0.95:
+			ch = '-'
+		}
+		grid[pt.P][pt.N] = ch
+	}
+	// Overlay runtime decisions: o = converged tuple, * = raw prediction.
+	for _, ev := range res.Converged {
+		if ev.P >= 1 && ev.P <= pr.MaxN && ev.N >= 1 && ev.N <= pr.MaxN {
+			grid[ev.P][ev.N] = 'o'
+		}
+	}
+	for _, ev := range res.Predicted {
+		if ev.P >= 1 && ev.P <= pr.MaxN && ev.N >= 1 && ev.N <= pr.MaxN {
+			grid[ev.P][ev.N] = '*'
+		}
+	}
+
+	fmt.Println("\nstatic profile with Poise's runtime tuples overlaid:")
+	fmt.Println(" p")
+	for p := pr.MaxN; p >= 1; p-- {
+		fmt.Printf("%2d |%s\n", p, string(grid[p][1:]))
+	}
+	fmt.Printf("   +%s N\n", strings.Repeat("-", pr.MaxN))
+	fmt.Println("    profile: # >=1.10x  + >=1.02x  . ~1x  - slowdown")
+	fmt.Println("    runtime: * prediction  o after local search")
+
+	best := pr.Best()
+	fmt.Printf("\nstatic optimum (%d,%d) at %.3fx; %d predictions, %d searches\n",
+		best.N, best.P, best.Speedup, len(res.Predicted), len(res.Converged))
+}

@@ -1,0 +1,51 @@
+// Quickstart: simulate one memory-sensitive workload under the GTO
+// baseline and under Poise, and compare the headline metrics — the
+// 30-second tour of the library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"poise"
+)
+
+func main() {
+	// An 8-SM GPU with the paper's per-SM organisation and a
+	// proportionally scaled shared memory system.
+	cfg := poise.DefaultConfig().Scale(8)
+
+	// The synthetic stand-in for the paper's MapReduce inverted-index
+	// benchmark: strong intra-warp locality that full TLP thrashes away.
+	workload := poise.Workloads(poise.Small).Must("ii")
+
+	gto, err := poise.NewPolicy(poise.PolicySpec{Name: "gto"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := poise.Run(cfg, workload, gto)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Poise with the shipped model (trained offline on the disjoint
+	// gco/pvr/ccl set — ii was never seen during training).
+	pp, err := poise.NewPolicy(poise.PolicySpec{Name: "poise"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := poise.Run(cfg, workload, pp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s (%d kernels)\n\n", workload.Name, len(workload.Kernels))
+	fmt.Printf("%-14s %10s %10s\n", "", "GTO", "Poise")
+	fmt.Printf("%-14s %10.3f %10.3f\n", "IPC", base.IPC, opt.IPC)
+	fmt.Printf("%-14s %9.1f%% %9.1f%%\n", "L1 hit rate", 100*base.L1HitRate(), 100*opt.L1HitRate())
+	fmt.Printf("%-14s %10.0f %10.0f\n", "AML (cycles)", base.AML, opt.AML)
+	fmt.Printf("%-14s %10d %10d\n", "DRAM accesses", base.DRAMAcc, opt.DRAMAcc)
+	fmt.Printf("\nspeedup: %.2fx\n", opt.IPC/base.IPC)
+}

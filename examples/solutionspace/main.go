@@ -1,0 +1,70 @@
+// Solutionspace: profile a kernel across the whole {N, p} space and
+// print the landscape the paper's Fig. 2 dissects — where the CCWS
+// diagonal peak sits, where a hill-climb gets stuck, and where the
+// global optimum actually is.
+//
+//	go run ./examples/solutionspace [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"poise"
+)
+
+func main() {
+	name := "ii"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	cfg := poise.DefaultConfig().Scale(8)
+	w := poise.Workloads(poise.Small).Must(name)
+	k := w.Kernels[0]
+
+	fmt.Printf("profiling %s across the {N, p} space (this sweeps ~80 simulations)...\n\n", k.Name)
+	pr, err := poise.SweepSolutionSpace(cfg, k, 2, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	best := pr.Best()
+	diag := pr.BestDiagonal()
+
+	// ASCII bubble plot: rows are p (top = high), columns are N.
+	grid := make([][]byte, pr.MaxN+1)
+	for p := range grid {
+		grid[p] = []byte(strings.Repeat(" ", pr.MaxN+1))
+	}
+	for _, pt := range pr.Points {
+		ch := byte('.')
+		switch {
+		case pt.Speedup >= 1.25:
+			ch = '#'
+		case pt.Speedup >= 1.05:
+			ch = '+'
+		case pt.Speedup <= 0.95:
+			ch = '-'
+		}
+		grid[pt.P][pt.N] = ch
+	}
+	grid[best.P][best.N] = 'M'
+	grid[diag.P][diag.N] = 'C'
+	fmt.Println(" p")
+	for p := pr.MaxN; p >= 1; p-- {
+		fmt.Printf("%2d |%s\n", p, string(grid[p][1:]))
+	}
+	fmt.Printf("   +%s N\n", strings.Repeat("-", pr.MaxN))
+	fmt.Println("    # >=1.25x   + >=1.05x   . ~1.0x   - slowdown")
+	fmt.Println("    M global optimum        C best diagonal (CCWS/SWL reach)")
+
+	fmt.Printf("\nbaseline (%d,%d): IPC %.3f\n", pr.MaxN, pr.MaxN, pr.Baseline.IPC)
+	fmt.Printf("CCWS/SWL best (%d,%d): %.3fx\n", diag.N, diag.P, diag.Speedup)
+	fmt.Printf("global best   (%d,%d): %.3fx", best.N, best.P, best.Speedup)
+	if best.Speedup > diag.Speedup*1.02 {
+		fmt.Printf("  <- decoupling p from N pays off (the PCAL/Poise premise)")
+	}
+	fmt.Println()
+}

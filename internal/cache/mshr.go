@@ -1,0 +1,111 @@
+package cache
+
+// MSHRFile models the miss-status holding registers of an L1 cache.
+// Each entry tracks one outstanding line miss; secondary misses to the
+// same line merge into the existing entry instead of issuing new memory
+// requests. The fixed entry budget (Kmshr in the paper's Eq. 1) is the
+// hardware lever that serialises concurrent misses: when all entries
+// are busy a load cannot issue and its warp must retry, which is how
+// the ⌈N·m/Kmshr⌉ latency growth of the analytical model emerges in
+// the simulator.
+type MSHRFile struct {
+	capacity int
+	entries  map[uint64]*MSHR
+
+	// Cumulative counters.
+	Allocs    int64 // primary misses (memory requests issued)
+	Merges    int64 // secondary misses merged
+	FullFails int64 // allocation attempts rejected because the file was full
+	PeakUsed  int
+}
+
+// Waiter identifies a warp waiting on a missing line.
+type Waiter struct {
+	Sched int   // scheduler index within the SM
+	Slot  int   // warp slot within the scheduler
+	Token int64 // per-warp load token to locate the scoreboard entry
+	Warp  int32 // global warp id, guards against slot recycling
+}
+
+// MSHR is one outstanding line miss.
+type MSHR struct {
+	LineAddr   uint64
+	IssueCycle int64
+	Pollute    bool // true if any merged requester had pollute privilege
+	Warp       int32
+	PC         int32
+	Waiters    []Waiter
+}
+
+// NewMSHRFile builds a file with the given number of entries.
+func NewMSHRFile(capacity int) *MSHRFile {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &MSHRFile{
+		capacity: capacity,
+		entries:  make(map[uint64]*MSHR, capacity),
+	}
+}
+
+// Capacity returns the entry budget.
+func (f *MSHRFile) Capacity() int { return f.capacity }
+
+// Used returns the number of live entries.
+func (f *MSHRFile) Used() int { return len(f.entries) }
+
+// Full reports whether no further primary miss can be tracked.
+func (f *MSHRFile) Full() bool { return len(f.entries) >= f.capacity }
+
+// Lookup returns the entry for lineAddr, or nil.
+func (f *MSHRFile) Lookup(lineAddr uint64) *MSHR { return f.entries[lineAddr] }
+
+// Allocate creates an entry for a primary miss. It returns nil if the
+// file is full (the caller must make the warp retry).
+func (f *MSHRFile) Allocate(lineAddr uint64, cycle int64, pollute bool, warp int32, pc int32, w Waiter) *MSHR {
+	if f.Full() {
+		f.FullFails++
+		return nil
+	}
+	m := &MSHR{
+		LineAddr:   lineAddr,
+		IssueCycle: cycle,
+		Pollute:    pollute,
+		Warp:       warp,
+		PC:         pc,
+		Waiters:    []Waiter{w},
+	}
+	f.entries[lineAddr] = m
+	f.Allocs++
+	if len(f.entries) > f.PeakUsed {
+		f.PeakUsed = len(f.entries)
+	}
+	return m
+}
+
+// Merge records a secondary miss on an existing entry. Pollute
+// privilege is sticky: if any requester may allocate, the eventual fill
+// allocates.
+func (f *MSHRFile) Merge(m *MSHR, pollute bool, w Waiter) {
+	m.Waiters = append(m.Waiters, w)
+	if pollute {
+		m.Pollute = true
+	}
+	f.Merges++
+}
+
+// Release removes the entry for lineAddr (on fill) and returns it.
+func (f *MSHRFile) Release(lineAddr uint64) *MSHR {
+	m := f.entries[lineAddr]
+	if m != nil {
+		delete(f.entries, lineAddr)
+	}
+	return m
+}
+
+// Reset drops all live entries (used between kernels).
+func (f *MSHRFile) Reset() {
+	for k := range f.entries {
+		delete(f.entries, k)
+	}
+}

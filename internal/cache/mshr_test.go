@@ -1,0 +1,135 @@
+package cache
+
+import "testing"
+
+func TestMSHRAllocateMergeRelease(t *testing.T) {
+	f := NewMSHRFile(2)
+	if f.Capacity() != 2 || f.Used() != 0 || f.Full() {
+		t.Fatalf("fresh file wrong: cap=%d used=%d", f.Capacity(), f.Used())
+	}
+	m := f.Allocate(0x10, 100, true, 1, 0, Waiter{Sched: 0, Slot: 1, Token: 1, Warp: 1})
+	if m == nil || f.Used() != 1 {
+		t.Fatal("allocate failed")
+	}
+	if got := f.Lookup(0x10); got != m {
+		t.Fatal("lookup must find the entry")
+	}
+	f.Merge(m, false, Waiter{Sched: 0, Slot: 2, Token: 3, Warp: 2})
+	if len(m.Waiters) != 2 {
+		t.Fatalf("waiters = %d, want 2", len(m.Waiters))
+	}
+	if !m.Pollute {
+		t.Fatal("pollute must stay sticky-true")
+	}
+	rel := f.Release(0x10)
+	if rel != m || f.Used() != 0 {
+		t.Fatal("release failed")
+	}
+	if f.Release(0x10) != nil {
+		t.Fatal("double release must return nil")
+	}
+}
+
+func TestMSHRPolluteSticky(t *testing.T) {
+	f := NewMSHRFile(2)
+	m := f.Allocate(0x20, 1, false, 1, 0, Waiter{Token: 1})
+	if m.Pollute {
+		t.Fatal("non-pollute primary must start false")
+	}
+	f.Merge(m, true, Waiter{Token: 2})
+	if !m.Pollute {
+		t.Fatal("a polluting merge must upgrade the fill")
+	}
+}
+
+func TestMSHRFullRejects(t *testing.T) {
+	f := NewMSHRFile(1)
+	if f.Allocate(0x1, 1, true, 1, 0, Waiter{}) == nil {
+		t.Fatal("first allocate must succeed")
+	}
+	if !f.Full() {
+		t.Fatal("file must be full")
+	}
+	if f.Allocate(0x2, 2, true, 1, 0, Waiter{}) != nil {
+		t.Fatal("allocate on full file must fail")
+	}
+	if f.FullFails != 1 {
+		t.Fatalf("FullFails = %d, want 1", f.FullFails)
+	}
+	f.Release(0x1)
+	if f.Allocate(0x2, 3, true, 1, 0, Waiter{}) == nil {
+		t.Fatal("allocate after release must succeed")
+	}
+}
+
+func TestMSHRCounters(t *testing.T) {
+	f := NewMSHRFile(4)
+	m := f.Allocate(0x1, 1, true, 1, 0, Waiter{})
+	f.Allocate(0x2, 1, true, 1, 0, Waiter{})
+	f.Merge(m, true, Waiter{})
+	if f.Allocs != 2 || f.Merges != 1 || f.PeakUsed != 2 {
+		t.Fatalf("counters wrong: %+v", f)
+	}
+	f.Reset()
+	if f.Used() != 0 {
+		t.Fatal("reset must drop entries")
+	}
+}
+
+func TestVictimTagsDetectLostLocality(t *testing.T) {
+	v := NewVictimTags(2, 8)
+	v.NoteEviction(3, 0x100)
+	v.NoteMiss(3, 0x100)
+	if v.TotalLost() != 1 {
+		t.Fatalf("lost = %d, want 1", v.TotalLost())
+	}
+	// The tag is consumed: a second miss is not double-counted.
+	v.NoteMiss(3, 0x100)
+	if v.TotalLost() != 1 {
+		t.Fatal("consumed tag must not re-fire")
+	}
+	// Another warp's miss on the same line is not this warp's loss.
+	v.NoteEviction(4, 0x200)
+	v.NoteMiss(5, 0x200)
+	if v.TotalLost() != 1 {
+		t.Fatal("cross-warp miss must not count")
+	}
+}
+
+func TestVictimTagsRingOverwrite(t *testing.T) {
+	v := NewVictimTags(2, 4)
+	v.NoteEviction(0, 0x1)
+	v.NoteEviction(0, 0x2)
+	v.NoteEviction(0, 0x3) // overwrites 0x1
+	v.NoteMiss(0, 0x1)
+	if v.TotalLost() != 0 {
+		t.Fatal("overwritten tag must be forgotten")
+	}
+	v.NoteMiss(0, 0x3)
+	if v.TotalLost() != 1 {
+		t.Fatal("recent tag must be remembered")
+	}
+}
+
+func TestVictimDrain(t *testing.T) {
+	v := NewVictimTags(4, 2)
+	v.NoteEviction(0, 0x9)
+	v.NoteMiss(0, 0x9)
+	got := v.Drain()
+	if got[0] != 1 {
+		t.Fatalf("drain = %v", got)
+	}
+	if v.TotalLost() != 0 {
+		t.Fatal("drain must reset counters")
+	}
+}
+
+func TestVictimTagZeroLineAddr(t *testing.T) {
+	// Line address 0 must be representable (tags are offset by 1).
+	v := NewVictimTags(2, 2)
+	v.NoteEviction(0, 0)
+	v.NoteMiss(0, 0)
+	if v.TotalLost() != 1 {
+		t.Fatal("line 0 must be trackable")
+	}
+}

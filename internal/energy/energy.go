@@ -1,0 +1,75 @@
+// Package energy estimates GPU energy consumption from simulation event
+// counts, standing in for the GPUWattch model the paper uses (§VII-I).
+// The estimate has the two components the paper's energy argument rests
+// on: dynamic energy proportional to work (instructions, cache and DRAM
+// accesses, NoC flits — data movement dominates) and leakage
+// proportional to runtime. Poise's savings come from fewer off-chip
+// accesses (less data movement) and faster execution (less leakage);
+// both fall out of the breakdown below.
+package energy
+
+import "poise/internal/sim"
+
+// Model holds per-event energies in nanojoules and leakage in watts.
+// Defaults approximate published per-operation energies for a 28 nm
+// GPU-class chip; only relative magnitudes matter for the reproduction.
+type Model struct {
+	InstrNJ    float64 // per executed warp instruction (datapath + RF)
+	L1AccessNJ float64 // per L1 probe
+	L2AccessNJ float64 // per L2 bank access
+	DRAMNJ     float64 // per 128 B DRAM access (the data-movement term)
+	NoCFlitNJ  float64 // per 32 B crossbar flit
+	LeakageW   float64 // whole-chip leakage+constant power at 32 SMs
+	CoreGHz    float64 // core clock, to convert cycles to seconds
+	BaseSMs    int     // SM count the leakage figure corresponds to
+}
+
+// Default returns the calibrated model.
+func Default() Model {
+	return Model{
+		InstrNJ:    0.25,
+		L1AccessNJ: 0.08,
+		L2AccessNJ: 0.30,
+		DRAMNJ:     8.0,
+		NoCFlitNJ:  0.10,
+		LeakageW:   45,
+		CoreGHz:    1.4,
+		BaseSMs:    32,
+	}
+}
+
+// Breakdown is the energy estimate of one run, in millijoules.
+type Breakdown struct {
+	InstrMJ   float64
+	L1MJ      float64
+	L2MJ      float64
+	DRAMMJ    float64
+	NoCMJ     float64
+	LeakageMJ float64
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() float64 {
+	return b.InstrMJ + b.L1MJ + b.L2MJ + b.DRAMMJ + b.NoCMJ + b.LeakageMJ
+}
+
+const nj2mj = 1e-6
+
+// OfWorkload estimates the energy of a workload run on nSMs SMs.
+// Leakage scales with the SM count so scaled-down simulations stay
+// comparable.
+func (m Model) OfWorkload(r sim.WorkloadResult, nSMs int) Breakdown {
+	seconds := float64(r.Cycles) / (m.CoreGHz * 1e9)
+	leakW := m.LeakageW
+	if m.BaseSMs > 0 && nSMs > 0 {
+		leakW = m.LeakageW * float64(nSMs) / float64(m.BaseSMs)
+	}
+	return Breakdown{
+		InstrMJ:   float64(r.Instructions) * m.InstrNJ * nj2mj,
+		L1MJ:      float64(r.L1.Accesses) * m.L1AccessNJ * nj2mj,
+		L2MJ:      float64(r.L2Acc) * m.L2AccessNJ * nj2mj,
+		DRAMMJ:    float64(r.DRAMAcc) * m.DRAMNJ * nj2mj,
+		NoCMJ:     float64(r.NoCReqFlits+r.NoCRespFlits) * m.NoCFlitNJ * nj2mj,
+		LeakageMJ: leakW * seconds * 1e3,
+	}
+}

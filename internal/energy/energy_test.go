@@ -1,0 +1,79 @@
+package energy
+
+import (
+	"testing"
+
+	"poise/internal/cache"
+	"poise/internal/sim"
+)
+
+func resultWith(cycles, instr, l1, l2, dram, flits int64) sim.WorkloadResult {
+	return sim.WorkloadResult{
+		Cycles:       cycles,
+		Instructions: instr,
+		L1:           cache.Stats{Accesses: l1},
+		L2Acc:        l2,
+		DRAMAcc:      dram,
+		NoCReqFlits:  flits / 2,
+		NoCRespFlits: flits - flits/2,
+	}
+}
+
+func TestBreakdownComponents(t *testing.T) {
+	m := Default()
+	r := resultWith(1_000_000, 5_000_000, 1_000_000, 200_000, 50_000, 800_000)
+	b := m.OfWorkload(r, 32)
+	if b.Total() <= 0 {
+		t.Fatal("total energy must be positive")
+	}
+	for name, v := range map[string]float64{
+		"instr": b.InstrMJ, "l1": b.L1MJ, "l2": b.L2MJ,
+		"dram": b.DRAMMJ, "noc": b.NoCMJ, "leak": b.LeakageMJ,
+	} {
+		if v <= 0 {
+			t.Fatalf("component %s must be positive", name)
+		}
+	}
+	sum := b.InstrMJ + b.L1MJ + b.L2MJ + b.DRAMMJ + b.NoCMJ + b.LeakageMJ
+	if d := b.Total() - sum; d > 1e-12 || d < -1e-12 {
+		t.Fatal("Total must equal the component sum")
+	}
+}
+
+func TestLeakageScalesWithCyclesAndSMs(t *testing.T) {
+	m := Default()
+	short := m.OfWorkload(resultWith(1_000_000, 1, 1, 1, 1, 1), 32)
+	long := m.OfWorkload(resultWith(2_000_000, 1, 1, 1, 1, 1), 32)
+	if long.LeakageMJ <= short.LeakageMJ {
+		t.Fatal("leakage must grow with runtime")
+	}
+	small := m.OfWorkload(resultWith(1_000_000, 1, 1, 1, 1, 1), 8)
+	if small.LeakageMJ >= short.LeakageMJ {
+		t.Fatal("leakage must scale down with fewer SMs")
+	}
+	if small.LeakageMJ*4 < short.LeakageMJ*0.99 || small.LeakageMJ*4 > short.LeakageMJ*1.01 {
+		t.Fatal("leakage must scale linearly in SM count")
+	}
+}
+
+func TestDRAMDominatesDataMovement(t *testing.T) {
+	// The paper's energy argument: off-chip accesses dominate data
+	// movement. Per access, DRAM must cost far more than L1/L2.
+	m := Default()
+	if m.DRAMNJ < 10*m.L2AccessNJ || m.DRAMNJ < 50*m.L1AccessNJ {
+		t.Fatalf("DRAM energy must dominate: dram=%v l2=%v l1=%v",
+			m.DRAMNJ, m.L2AccessNJ, m.L1AccessNJ)
+	}
+}
+
+func TestFasterRunWithFewerDRAMAccessesSavesEnergy(t *testing.T) {
+	// The Poise-vs-GTO shape of Fig. 14: same instruction count, fewer
+	// cycles and fewer off-chip accesses, lower total energy.
+	m := Default()
+	gto := m.OfWorkload(resultWith(4_000_000, 3_000_000, 1_000_000, 900_000, 500_000, 5_000_000), 8)
+	poise := m.OfWorkload(resultWith(2_000_000, 3_000_000, 1_000_000, 500_000, 150_000, 2_000_000), 8)
+	if poise.Total() >= gto.Total() {
+		t.Fatalf("faster run with less traffic must save energy: %v vs %v",
+			poise.Total(), gto.Total())
+	}
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"poise/internal/poise"
+	"poise/internal/profile"
+	"poise/internal/sim"
+)
+
+// Table renders rows of columns with aligned padding — the plain-text
+// stand-in for the paper's bar charts.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddF appends a row with a name and float cells at the given precision.
+func (t *Table) AddF(name string, prec int, vals ...float64) {
+	cells := []string{name}
+	for _, v := range vals {
+		cells = append(cells, fmt.Sprintf("%.*f", prec, v))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, hd := range t.Header {
+		widths[i] = len(hd)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[i] - len(c)
+			if i == 0 {
+				b.WriteString(c + strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad) + c)
+			}
+		}
+		fmt.Fprintln(w, b.String())
+	}
+	line(t.Header)
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// RenderSpace draws an ASCII scatter of a profile's {N, p} space:
+// '+' speedup, '-' slowdown, uppercase markers for annotated points.
+// It is the terminal rendering of the paper's Fig. 2a/17a bubble plots.
+func RenderSpace(w io.Writer, pr *profile.Profile, markers map[string][2]int) {
+	maxN := pr.MaxN
+	grid := make([][]byte, maxN+1) // rows indexed by p
+	for p := range grid {
+		grid[p] = []byte(strings.Repeat(" ", maxN+1))
+	}
+	for _, pt := range pr.Points {
+		ch := byte('.')
+		switch {
+		case pt.Speedup >= 1.25:
+			ch = '#'
+		case pt.Speedup >= 1.05:
+			ch = '+'
+		case pt.Speedup <= 0.95:
+			ch = '-'
+		}
+		grid[pt.P][pt.N] = ch
+	}
+	for name, pos := range markers {
+		n, p := pos[0], pos[1]
+		if p >= 0 && p <= maxN && n >= 0 && n <= maxN && len(name) > 0 {
+			grid[p][n] = name[0]
+		}
+	}
+	fmt.Fprintln(w, "p")
+	for p := maxN; p >= 1; p-- {
+		fmt.Fprintf(w, "%2d |%s\n", p, string(grid[p][1:]))
+	}
+	fmt.Fprintf(w, "   +%s N\n", strings.Repeat("-", maxN))
+	fmt.Fprintln(w, "   legend: # >=1.25x, + >=1.05x, . ~1x, - slowdown; markers override cells")
+}
+
+// RenderWeights prints a Table II-style weight listing.
+func RenderWeights(w io.Writer, wt poise.Weights) {
+	t := &Table{Header: []string{"feature", "alpha (N)", "beta (p)"}}
+	for i := 0; i < poise.NumFeatures; i++ {
+		t.Add(poise.FeatureNames[i],
+			fmt.Sprintf("%+.6f", wt.Alpha[i]),
+			fmt.Sprintf("%+.6f", wt.Beta[i]))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "dispersion: N=%.4f p=%.4f  pseudo-R2: N=%.3f p=%.3f  kernels=%d\n",
+		wt.DispersionN, wt.DispersionP, wt.PseudoR2N, wt.PseudoR2P, wt.TrainKernels)
+}
+
+// RenderTuples prints the case-study tuple clouds (Fig. 17b).
+func RenderTuples(w io.Writer, predicted, converged []sim.TupleEvent, maxN int) {
+	grid := make([][]byte, maxN+1)
+	for p := range grid {
+		grid[p] = []byte(strings.Repeat(" ", maxN+1))
+	}
+	mark := func(evs []sim.TupleEvent, ch byte) {
+		for _, ev := range evs {
+			if ev.P >= 1 && ev.P <= maxN && ev.N >= 1 && ev.N <= maxN {
+				grid[ev.P][ev.N] = ch
+			}
+		}
+	}
+	mark(converged, 'o')
+	mark(predicted, '+')
+	fmt.Fprintln(w, "p")
+	for p := maxN; p >= 1; p-- {
+		fmt.Fprintf(w, "%2d |%s\n", p, string(grid[p][1:]))
+	}
+	fmt.Fprintf(w, "   +%s N\n", strings.Repeat("-", maxN))
+	fmt.Fprintln(w, "   legend: + predicted tuple, o locally-searched tuple")
+}

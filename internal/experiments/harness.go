@@ -1,0 +1,208 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§VII). Each experiment is a method on Harness returning
+// structured rows, so the same code backs the poisebench command, the
+// top-level testing.B benchmarks and EXPERIMENTS.md.
+//
+// Experiments run on a scaled GPU (default 8 SMs with a proportionally
+// scaled memory system, see config.Config.Scale) and the Small workload
+// size; both are configurable. Offline {N, p} sweeps are cached on disk
+// keyed by a configuration digest, because SWL, PCAL-SWL, Static-Best
+// and the training pipeline all consume them.
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"poise/internal/config"
+	"poise/internal/poise"
+	"poise/internal/profile"
+	"poise/internal/sim"
+	"poise/internal/trace"
+	"poise/internal/workloads"
+)
+
+// Options configures a Harness.
+type Options struct {
+	SMs      int            // simulated SM count (default 8)
+	Size     workloads.Size // workload scale (default Small)
+	CacheDir string         // profile cache directory ("" = no cache)
+
+	// Sweep grids: evaluation profiles need enough resolution for
+	// Static-Best; training profiles can be coarser.
+	EvalStepN, EvalStepP   int
+	TrainStepN, TrainStepP int
+
+	// Seeds for the random-restart policy (paper averages 20 runs).
+	RandomSeeds int
+
+	// Weights overrides the embedded default model (zero value = use
+	// DefaultWeights, falling back to training when empty).
+	Weights *poise.Weights
+}
+
+func (o Options) withDefaults() Options {
+	if o.SMs <= 0 {
+		o.SMs = 8
+	}
+	if o.EvalStepN <= 0 {
+		o.EvalStepN = 2
+	}
+	if o.EvalStepP <= 0 {
+		o.EvalStepP = 2
+	}
+	if o.TrainStepN <= 0 {
+		o.TrainStepN = 3
+	}
+	if o.TrainStepP <= 0 {
+		o.TrainStepP = 3
+	}
+	if o.RandomSeeds <= 0 {
+		o.RandomSeeds = 3
+	}
+	return o
+}
+
+// Harness owns the shared state of the experiment suite.
+type Harness struct {
+	Opt    Options
+	Cfg    config.Config
+	Params config.PoiseParams
+	Cat    *workloads.Catalogue
+
+	store    profile.Store
+	profiles map[string]*profile.Profile
+	weights  *poise.Weights
+	dataset  *poise.Dataset
+}
+
+// NewHarness builds a harness.
+func NewHarness(opt Options) *Harness {
+	opt = opt.withDefaults()
+	return &Harness{
+		Opt:      opt,
+		Cfg:      config.Default().Scale(opt.SMs),
+		Params:   config.DefaultPoise(),
+		Cat:      workloads.NewCatalogue(opt.Size),
+		store:    profile.Store{Dir: opt.CacheDir},
+		profiles: map[string]*profile.Profile{},
+	}
+}
+
+// tag digests the parts of the configuration that change profiles, so
+// the on-disk cache never serves stale sweeps.
+func (h *Harness) tag(train bool) string {
+	s := fmt.Sprintf("sms%d-size%d-l1%d-%v", h.Opt.SMs, h.Opt.Size,
+		h.Cfg.L1.SizeBytes, h.Cfg.L1.Index)
+	if train {
+		s += fmt.Sprintf("-t%d.%d", h.Opt.TrainStepN, h.Opt.TrainStepP)
+	} else {
+		s += fmt.Sprintf("-e%d.%d", h.Opt.EvalStepN, h.Opt.EvalStepP)
+	}
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:6])
+}
+
+// KernelProfile sweeps (or loads) the profile of one kernel at the
+// evaluation grid.
+func (h *Harness) KernelProfile(k *trace.Kernel) (*profile.Profile, error) {
+	if pr, ok := h.profiles[k.Name]; ok {
+		return pr, nil
+	}
+	pr, err := h.store.LoadOrSweep(h.tag(false), h.Cfg, k,
+		profile.SweepOptions{StepN: h.Opt.EvalStepN, StepP: h.Opt.EvalStepP})
+	if err != nil {
+		return nil, err
+	}
+	h.profiles[k.Name] = pr
+	return pr, nil
+}
+
+// WorkloadProfiles returns per-kernel profiles for a set of workloads.
+func (h *Harness) WorkloadProfiles(ws []*sim.Workload) (map[string]*profile.Profile, error) {
+	out := map[string]*profile.Profile{}
+	for _, w := range ws {
+		for _, k := range w.Kernels {
+			pr, err := h.KernelProfile(k)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: profiling %s: %w", k.Name, err)
+			}
+			out[k.Name] = pr
+		}
+	}
+	return out, nil
+}
+
+// Dataset builds (once) the training dataset from the training
+// workloads.
+func (h *Harness) Dataset() (*poise.Dataset, error) {
+	if h.dataset != nil {
+		return h.dataset, nil
+	}
+	ds, err := poise.BuildDataset(h.Cfg, h.Params, h.Cat.TrainingSet(),
+		profile.SweepOptions{StepN: h.Opt.TrainStepN, StepP: h.Opt.TrainStepP},
+		h.store, h.tag(true))
+	if err != nil {
+		return nil, err
+	}
+	h.dataset = ds
+	return ds, nil
+}
+
+// ModelWeights returns the weights used by the Poise policy: the
+// explicit override, the embedded defaults, or a fresh training run —
+// in that order.
+func (h *Harness) ModelWeights() (poise.Weights, error) {
+	if h.weights != nil {
+		return *h.weights, nil
+	}
+	if h.Opt.Weights != nil {
+		h.weights = h.Opt.Weights
+		return *h.weights, nil
+	}
+	if w, ok := poise.DefaultWeights(); ok {
+		h.weights = &w
+		return w, nil
+	}
+	ds, err := h.Dataset()
+	if err != nil {
+		return poise.Weights{}, err
+	}
+	w, err := poise.Train(ds, poise.TrainOptions{Drop: -1})
+	if err != nil {
+		return poise.Weights{}, err
+	}
+	h.weights = &w
+	return w, nil
+}
+
+// PoisePolicy builds a fresh Poise policy (per workload run — the
+// displacement statistics are per-policy-instance).
+func (h *Harness) PoisePolicy() (*poise.Policy, error) {
+	w, err := h.ModelWeights()
+	if err != nil {
+		return nil, err
+	}
+	return poise.NewPolicy(h.Params, w), nil
+}
+
+// RunWorkload executes one workload under one policy.
+func (h *Harness) RunWorkload(w *sim.Workload, p sim.Policy) (sim.WorkloadResult, error) {
+	return sim.RunWorkload(h.Cfg, w, p, sim.RunOptions{})
+}
+
+// EvalWorkloads returns the evaluation set (paper order).
+func (h *Harness) EvalWorkloads() []*sim.Workload { return h.Cat.EvalSet() }
+
+// sortedNames returns map keys in stable order (tables must be
+// deterministic).
+func sortedNames[T any](m map[string]T) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

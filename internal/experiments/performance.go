@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"poise/internal/energy"
+	"poise/internal/poise"
+	"poise/internal/sched"
+	"poise/internal/sim"
+	"poise/internal/stats"
+)
+
+// SchemeNames lists the Fig. 7/8/9 comparison schemes in paper order.
+var SchemeNames = []string{"GTO", "SWL", "PCAL-SWL", "Poise", "Static-Best"}
+
+// PerfRow carries one workload's results across all schemes.
+type PerfRow struct {
+	Workload string
+	// Indexed like SchemeNames.
+	IPC     []float64
+	Speedup []float64 // IPC normalised to GTO
+	HitRate []float64 // absolute L1 hit rate
+	AML     []float64 // normalised to GTO
+	// Poise-only extras.
+	DispN, DispP, DispE    float64 // Fig. 10 displacements
+	EnergyGTO, EnergyPoise float64 // mJ, Fig. 14
+}
+
+// PerfSummary aggregates Fig. 7-10 and Fig. 14 data.
+type PerfSummary struct {
+	Rows []PerfRow
+	// HMeanSpeedup per scheme (paper reports harmonic means for IPC).
+	HMeanSpeedup []float64
+	// AMeanHitRate and AMeanAML per scheme (arithmetic means).
+	AMeanHitRate []float64
+	AMeanAML     []float64
+	// Fig. 10 means.
+	MeanDispN, MeanDispP, MeanDispE float64
+	// Fig. 14 mean normalised Poise energy.
+	MeanEnergyRatio float64
+}
+
+// Performance runs the evaluation set under every scheme, producing the
+// data behind Figs. 7 (IPC), 8 (L1 hit rate), 9 (AML), 10 (search
+// displacement) and 14 (energy).
+func (h *Harness) Performance() (*PerfSummary, error) {
+	evalSet := h.EvalWorkloads()
+	profs, err := h.WorkloadProfiles(evalSet)
+	if err != nil {
+		return nil, err
+	}
+	em := energy.Default()
+
+	sum := &PerfSummary{}
+	for _, w := range evalSet {
+		row := PerfRow{Workload: w.Name}
+		var gto sim.WorkloadResult
+		for _, scheme := range SchemeNames {
+			var pol sim.Policy
+			var pp *poise.Policy
+			switch scheme {
+			case "GTO":
+				pol = sim.GTO{}
+			case "SWL":
+				pol = sched.SWL(profs)
+			case "PCAL-SWL":
+				pol = sched.NewPCALSWL(sched.SWLFromProfiles(profs),
+					h.Params.TWarmup, h.Params.TFeature, h.Params.TPeriod)
+			case "Poise":
+				pp, err = h.PoisePolicy()
+				if err != nil {
+					return nil, err
+				}
+				pol = pp
+			case "Static-Best":
+				pol = sched.StaticBest(profs)
+			}
+			res, err := h.RunWorkload(w, pol)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s under %s: %w", w.Name, scheme, err)
+			}
+			if scheme == "GTO" {
+				gto = res
+				row.EnergyGTO = em.OfWorkload(res, h.Cfg.NumSMs).Total()
+			}
+			if scheme == "Poise" {
+				row.EnergyPoise = em.OfWorkload(res, h.Cfg.NumSMs).Total()
+				if dN, dP, dE, ok := pp.Displacement(); ok {
+					row.DispN, row.DispP, row.DispE = dN, dP, dE
+				}
+			}
+			row.IPC = append(row.IPC, res.IPC)
+			row.Speedup = append(row.Speedup, ratio(res.IPC, gto.IPC))
+			row.HitRate = append(row.HitRate, res.L1.HitRate())
+			row.AML = append(row.AML, ratio(res.AML, gto.AML))
+		}
+		sum.Rows = append(sum.Rows, row)
+	}
+
+	for si := range SchemeNames {
+		var sp, hr, aml []float64
+		for _, r := range sum.Rows {
+			sp = append(sp, r.Speedup[si])
+			hr = append(hr, r.HitRate[si])
+			aml = append(aml, r.AML[si])
+		}
+		hm, err := stats.HarmonicMean(sp)
+		if err != nil {
+			hm = stats.Mean(sp)
+		}
+		sum.HMeanSpeedup = append(sum.HMeanSpeedup, hm)
+		sum.AMeanHitRate = append(sum.AMeanHitRate, stats.Mean(hr))
+		sum.AMeanAML = append(sum.AMeanAML, stats.Mean(aml))
+	}
+	var dn, dp, de, er []float64
+	for _, r := range sum.Rows {
+		dn = append(dn, r.DispN)
+		dp = append(dp, r.DispP)
+		de = append(de, r.DispE)
+		er = append(er, ratio(r.EnergyPoise, r.EnergyGTO))
+	}
+	sum.MeanDispN, sum.MeanDispP, sum.MeanDispE = stats.Mean(dn), stats.Mean(dp), stats.Mean(de)
+	sum.MeanEnergyRatio = stats.Mean(er)
+	return sum, nil
+}
+
+func ratio(x, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return x / base
+}

@@ -1,0 +1,298 @@
+package experiments
+
+import (
+	"fmt"
+
+	"poise/internal/config"
+	"poise/internal/poise"
+	"poise/internal/sched"
+	"poise/internal/sim"
+	"poise/internal/stats"
+)
+
+// StrideResult backs Fig. 11: harmonic-mean speedup over GTO for each
+// local-search stride setting.
+type StrideResult struct {
+	Strides [][2]int
+	// PerWorkload[i][j] = speedup of workload i under stride j.
+	Workloads   []string
+	PerWorkload [][]float64
+	HMean       []float64
+}
+
+// Fig11 sweeps the local-search stride (εN, εp) over the paper's five
+// settings, including the pure-prediction (0, 0) case.
+func (h *Harness) Fig11() (*StrideResult, error) {
+	strides := [][2]int{{0, 0}, {1, 1}, {2, 2}, {2, 4}, {4, 4}}
+	w, err := h.ModelWeights()
+	if err != nil {
+		return nil, err
+	}
+	out := &StrideResult{Strides: strides}
+	evalSet := h.EvalWorkloads()
+	gto := map[string]float64{}
+	for _, wl := range evalSet {
+		res, err := h.RunWorkload(wl, sim.GTO{})
+		if err != nil {
+			return nil, err
+		}
+		gto[wl.Name] = res.IPC
+		out.Workloads = append(out.Workloads, wl.Name)
+		out.PerWorkload = append(out.PerWorkload, make([]float64, len(strides)))
+	}
+	for sj, st := range strides {
+		params := h.Params
+		params.StrideN, params.StrideP = st[0], st[1]
+		var sp []float64
+		for wi, wl := range evalSet {
+			pol := poise.NewPolicy(params, w)
+			pol.DisableSearch = st[0] == 0 && st[1] == 0
+			res, err := h.RunWorkload(wl, pol)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: stride %v on %s: %w", st, wl.Name, err)
+			}
+			s := ratio(res.IPC, gto[wl.Name])
+			out.PerWorkload[wi][sj] = s
+			sp = append(sp, s)
+		}
+		hm, err := stats.HarmonicMean(sp)
+		if err != nil {
+			hm = stats.Mean(sp)
+		}
+		out.HMean = append(out.HMean, hm)
+	}
+	return out, nil
+}
+
+// CacheSizeResult backs Fig. 12: Poise speedup (vs the same-config GTO)
+// when the evaluation platform's L1 grows and switches to linear
+// indexing, while the model stays trained on the 16 KB hashed baseline.
+type CacheSizeResult struct {
+	SizesKB   []int
+	Workloads []string
+	Speedup   [][]float64 // [workload][size]
+	HMean     []float64
+}
+
+// Fig12 re-evaluates the trained model on altered cache architectures.
+func (h *Harness) Fig12() (*CacheSizeResult, error) {
+	w, err := h.ModelWeights()
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{16, 32, 64}
+	evalSet := h.EvalWorkloads()
+	out := &CacheSizeResult{SizesKB: sizes}
+	for _, wl := range evalSet {
+		out.Workloads = append(out.Workloads, wl.Name)
+		out.Speedup = append(out.Speedup, make([]float64, len(sizes)))
+	}
+	for si, kb := range sizes {
+		cfg := h.Cfg
+		cfg.L1.SizeBytes = kb * 1024
+		cfg.L1.Index = config.IndexLinear
+		var sp []float64
+		for wi, wl := range evalSet {
+			gto, err := sim.RunWorkload(cfg, wl, sim.GTO{}, sim.RunOptions{})
+			if err != nil {
+				return nil, err
+			}
+			pol := poise.NewPolicy(h.Params, w)
+			res, err := sim.RunWorkload(cfg, wl, pol, sim.RunOptions{})
+			if err != nil {
+				return nil, err
+			}
+			s := ratio(res.IPC, gto.IPC)
+			out.Speedup[wi][si] = s
+			sp = append(sp, s)
+		}
+		hm, err := stats.HarmonicMean(sp)
+		if err != nil {
+			hm = stats.Mean(sp)
+		}
+		out.HMean = append(out.HMean, hm)
+	}
+	return out, nil
+}
+
+// FeatureAblationResult backs Fig. 13: speedup of a model retrained
+// without one feature, relative to the full model, both without local
+// search (isolating prediction accuracy).
+type FeatureAblationResult struct {
+	Dropped   []int // feature indices, Table II x3..x7 = 2..6
+	Workloads []string
+	// Relative[i][j]: workload i, dropped feature j, normalised to the
+	// all-features model.
+	Relative [][]float64
+	HMean    []float64
+}
+
+// Fig13 retrains with one feature removed (x3, x4, x5, x6, x7 — the
+// paper omits x1/x2 as represented within x7) and measures prediction
+// quality without the local-search safety net.
+func (h *Harness) Fig13() (*FeatureAblationResult, error) {
+	ds, err := h.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	full, err := poise.Train(ds, poise.TrainOptions{Drop: -1})
+	if err != nil {
+		return nil, err
+	}
+	evalSet := h.EvalWorkloads()
+
+	runNoSearch := func(w poise.Weights) (map[string]float64, error) {
+		out := map[string]float64{}
+		for _, wl := range evalSet {
+			pol := poise.NewPolicy(h.Params, w)
+			pol.DisableSearch = true
+			res, err := h.RunWorkload(wl, pol)
+			if err != nil {
+				return nil, err
+			}
+			out[wl.Name] = res.IPC
+		}
+		return out, nil
+	}
+	base, err := runNoSearch(full)
+	if err != nil {
+		return nil, err
+	}
+
+	dropped := []int{6, 5, 4, 3, 2} // x7, x6, x5, x4, x3 in paper order
+	out := &FeatureAblationResult{Dropped: dropped}
+	for _, wl := range evalSet {
+		out.Workloads = append(out.Workloads, wl.Name)
+		out.Relative = append(out.Relative, make([]float64, len(dropped)))
+	}
+	for dj, d := range dropped {
+		wts, err := poise.Train(ds, poise.TrainOptions{Drop: d})
+		if err != nil {
+			return nil, err
+		}
+		ipcs, err := runNoSearch(wts)
+		if err != nil {
+			return nil, err
+		}
+		var rel []float64
+		for wi, wl := range evalSet {
+			r := ratio(ipcs[wl.Name], base[wl.Name])
+			out.Relative[wi][dj] = r
+			rel = append(rel, r)
+		}
+		hm, err := stats.HarmonicMean(rel)
+		if err != nil {
+			hm = stats.Mean(rel)
+		}
+		out.HMean = append(out.HMean, hm)
+	}
+	return out, nil
+}
+
+// AlternativesResult backs Fig. 15: Poise against APCM and
+// random-restart stochastic search, normalised to GTO.
+type AlternativesResult struct {
+	Workloads []string
+	APCM      []float64
+	Random    []float64
+	Poise     []float64
+	HMean     [3]float64 // APCM, Random, Poise
+}
+
+// Fig15 compares Poise with the cache-bypassing and stochastic-search
+// alternatives.
+func (h *Harness) Fig15() (*AlternativesResult, error) {
+	out := &AlternativesResult{}
+	evalSet := h.EvalWorkloads()
+	var apcmS, rndS, poiseS []float64
+	for _, wl := range evalSet {
+		gto, err := h.RunWorkload(wl, sim.GTO{})
+		if err != nil {
+			return nil, err
+		}
+		ap, err := h.RunWorkload(wl, sched.NewAPCM(h.Params.TFeature))
+		if err != nil {
+			return nil, err
+		}
+		// Random-restart averaged over seeds.
+		var rndIPC float64
+		for seed := 0; seed < h.Opt.RandomSeeds; seed++ {
+			r, err := h.RunWorkload(wl, sched.NewRandomRestart(int64(seed+1),
+				h.Params.TWarmup, h.Params.TSearch, h.Params.TPeriod,
+				h.Params.StrideN, h.Params.StrideP))
+			if err != nil {
+				return nil, err
+			}
+			rndIPC += r.IPC
+		}
+		rndIPC /= float64(h.Opt.RandomSeeds)
+		pol, err := h.PoisePolicy()
+		if err != nil {
+			return nil, err
+		}
+		po, err := h.RunWorkload(wl, pol)
+		if err != nil {
+			return nil, err
+		}
+		out.Workloads = append(out.Workloads, wl.Name)
+		out.APCM = append(out.APCM, ratio(ap.IPC, gto.IPC))
+		out.Random = append(out.Random, ratio(rndIPC, gto.IPC))
+		out.Poise = append(out.Poise, ratio(po.IPC, gto.IPC))
+		apcmS = append(apcmS, ratio(ap.IPC, gto.IPC))
+		rndS = append(rndS, ratio(rndIPC, gto.IPC))
+		poiseS = append(poiseS, ratio(po.IPC, gto.IPC))
+	}
+	for i, s := range [][]float64{apcmS, rndS, poiseS} {
+		hm, err := stats.HarmonicMean(s)
+		if err != nil {
+			hm = stats.Mean(s)
+		}
+		out.HMean[i] = hm
+	}
+	return out, nil
+}
+
+// ComputeResult backs Fig. 16: memory-insensitive workloads under GTO,
+// Poise and the 64x-L1 Pbest probe.
+type ComputeResult struct {
+	Workloads  []string
+	Poise      []float64 // vs GTO
+	Pbest      []float64 // vs GTO
+	HMeanPoise float64
+}
+
+// Fig16 verifies Poise's compute-intensive cut-off keeps overhead low.
+func (h *Harness) Fig16() (*ComputeResult, error) {
+	out := &ComputeResult{}
+	var ps []float64
+	for _, wl := range h.Cat.ComputeSet() {
+		gto, err := h.RunWorkload(wl, sim.GTO{})
+		if err != nil {
+			return nil, err
+		}
+		pol, err := h.PoisePolicy()
+		if err != nil {
+			return nil, err
+		}
+		po, err := h.RunWorkload(wl, pol)
+		if err != nil {
+			return nil, err
+		}
+		big := h.Cfg
+		big.L1.SizeBytes *= 64
+		pb, err := sim.RunWorkload(big, wl, sim.GTO{}, sim.RunOptions{})
+		if err != nil {
+			return nil, err
+		}
+		out.Workloads = append(out.Workloads, wl.Name)
+		out.Poise = append(out.Poise, ratio(po.IPC, gto.IPC))
+		out.Pbest = append(out.Pbest, ratio(pb.IPC, gto.IPC))
+		ps = append(ps, ratio(po.IPC, gto.IPC))
+	}
+	hm, err := stats.HarmonicMean(ps)
+	if err != nil {
+		hm = stats.Mean(ps)
+	}
+	out.HMeanPoise = hm
+	return out, nil
+}

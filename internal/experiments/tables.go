@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"poise/internal/poise"
+	"poise/internal/sim"
+	"poise/internal/workloads"
+)
+
+// TableIIResult carries the trained feature weights (the reproduction's
+// Table II) and the offline prediction-error figures of §VII-B.
+type TableIIResult struct {
+	Weights poise.Weights
+	// Offline prediction error on the evaluation kernels (the paper
+	// reports 16% for N and 26% for p).
+	ErrN, ErrP float64
+	// Admission statistics.
+	Admitted, RejSpeedup, RejCycles, RejHitRate int
+}
+
+// TableII trains the regression (or returns the embedded weights) and
+// evaluates offline prediction accuracy on profiled evaluation kernels
+// (which are never part of training).
+func (h *Harness) TableII() (*TableIIResult, error) {
+	ds, err := h.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	w, err := h.ModelWeights()
+	if err != nil {
+		return nil, err
+	}
+	res := &TableIIResult{
+		Weights:    w,
+		Admitted:   len(ds.Samples),
+		RejSpeedup: ds.RejectedSpeedup,
+		RejCycles:  ds.RejectedCycles,
+		RejHitRate: ds.RejectedHitRate,
+	}
+
+	// Offline accuracy: profile a subset of unseen evaluation kernels,
+	// derive their scored targets, and compare against predictions.
+	var holdout []poise.Sample
+	for _, wl := range h.EvalWorkloads() {
+		k := wl.Kernels[0]
+		pr, err := h.KernelProfile(k)
+		if err != nil {
+			return nil, err
+		}
+		target, _ := pr.BestScore(h.Params)
+		x, err := poise.MeasureFeatures(h.Cfg, k)
+		if err != nil {
+			return nil, err
+		}
+		holdout = append(holdout, poise.Sample{
+			Kernel: k.Name, X: x,
+			RawN: target.N, RawP: target.P, MaxN: pr.MaxN,
+		})
+	}
+	res.ErrN, res.ErrP = poise.EvaluateOffline(w, holdout)
+	return res, nil
+}
+
+// PbestRow is one workload of Table IIIa: the 64x-L1 speedup that
+// classifies memory sensitivity.
+type PbestRow struct {
+	Workload        string
+	Kernels         int
+	Pbest           float64
+	MemorySensitive bool
+}
+
+// TableIII measures Pbest for every workload in the catalogue: the
+// speedup of the GTO baseline when the L1 grows 64x. The paper calls a
+// workload memory-sensitive when Pbest exceeds 1.4.
+func (h *Harness) TableIII() ([]PbestRow, error) {
+	names := append(append([]string{}, workloads.TrainingNames()...), workloads.EvalNames()...)
+	names = append(names, workloads.ComputeNames()...)
+	var rows []PbestRow
+	for _, name := range names {
+		w := h.Cat.Must(name)
+		base, err := h.RunWorkload(w, sim.GTO{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: pbest baseline %s: %w", name, err)
+		}
+		big := h.Cfg
+		big.L1.SizeBytes *= 64
+		bigRes, err := sim.RunWorkload(big, w, sim.GTO{}, sim.RunOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: pbest 64x %s: %w", name, err)
+		}
+		pb := ratio(bigRes.IPC, base.IPC)
+		rows = append(rows, PbestRow{
+			Workload:        name,
+			Kernels:         len(w.Kernels),
+			Pbest:           pb,
+			MemorySensitive: pb > 1.4,
+		})
+	}
+	return rows, nil
+}
+
+// HardwareCost reproduces the §VII-I storage accounting: the per-SM
+// state Poise adds. The numbers are structural properties of the
+// design, so this is an accounting function rather than a measurement.
+type HardwareCost struct {
+	CounterBytes   int // seven 32-bit performance counters
+	FSMBytes       int // two 3-bit state registers (rounded up)
+	VitalBits      int // one per warp
+	PolluteBits    int // one per warp
+	WeightBytes    int // feature weights (shipped via constant memory)
+	TotalPerSM     float64
+	TotalChipBytes float64
+	SMs            int
+}
+
+// Cost computes the hardware budget for the configured GPU.
+func (h *Harness) Cost() HardwareCost {
+	warps := h.Cfg.MaxWarpsPerSM()
+	c := HardwareCost{
+		CounterBytes: 7 * 4,
+		FSMBytes:     1, // two 3-bit registers fit in a byte
+		VitalBits:    warps,
+		PolluteBits:  warps,
+		SMs:          h.Cfg.NumSMs,
+	}
+	// The weights live in constant memory (already present); per-SM
+	// storage counts the counters, FSM and scheduler-queue bits, as in
+	// the paper's 40.75 B/SM figure.
+	c.TotalPerSM = float64(c.CounterBytes+c.FSMBytes) +
+		float64(c.VitalBits+c.PolluteBits)/8
+	c.TotalChipBytes = c.TotalPerSM * float64(c.SMs)
+	c.WeightBytes = poise.NumFeatures * 2 * 4 // two fp32 vectors
+	return c
+}

@@ -1,0 +1,78 @@
+// Package noc models the GPU's SM-to-memory-partition crossbar as a set
+// of serialising ports with queueing. A request occupies its SM's
+// injection port for one flit time; a response occupies the SM's
+// ejection port for one flit per 32 bytes of data (a 128 B line = 4
+// flits). Port contention is what turns high miss traffic into the
+// rising average memory latency (AML) that the paper's Fig. 9 measures:
+// every server keeps a next-free cycle, so queueing delay accumulates
+// analytically without per-cycle ticking.
+package noc
+
+import "poise/internal/config"
+
+// Crossbar is the interconnect between SMs and L2/DRAM partitions.
+type Crossbar struct {
+	latency   int64 // base one-way latency, core cycles
+	flitCycle int64 // serialisation time per flit, core cycles
+	reqPorts  []int64
+	respPorts []int64
+
+	// Stats.
+	ReqFlits  int64
+	RespFlits int64
+	// QueueDelay accumulates cycles spent waiting for a free port, a
+	// direct congestion measure.
+	QueueDelay int64
+}
+
+// New builds the crossbar for the given configuration.
+func New(cfg config.Config) *Crossbar {
+	return &Crossbar{
+		latency:   int64(cfg.NoCLatency),
+		flitCycle: int64(cfg.NoCCyclesPerFl),
+		reqPorts:  make([]int64, cfg.NumSMs),
+		respPorts: make([]int64, cfg.NumSMs),
+	}
+}
+
+// Request injects a single-flit request from sm at cycle now and
+// returns the cycle at which it arrives at the memory side.
+func (x *Crossbar) Request(sm int, now int64) int64 {
+	p := &x.reqPorts[sm]
+	start := now
+	if *p > start {
+		x.QueueDelay += *p - start
+		start = *p
+	}
+	*p = start + x.flitCycle
+	x.ReqFlits++
+	return *p + x.latency
+}
+
+// Response returns a data payload of flits flits to sm, ready at cycle
+// now on the memory side, and returns the cycle at which the full
+// payload has been delivered to the SM.
+func (x *Crossbar) Response(sm int, now int64, flits int) int64 {
+	if flits < 1 {
+		flits = 1
+	}
+	p := &x.respPorts[sm]
+	start := now
+	if *p > start {
+		x.QueueDelay += *p - start
+		start = *p
+	}
+	*p = start + x.flitCycle*int64(flits)
+	x.RespFlits += int64(flits)
+	return *p + x.latency
+}
+
+// Reset clears port state and statistics (between kernels the ports
+// drain; statistics restart with the kernel).
+func (x *Crossbar) Reset() {
+	for i := range x.reqPorts {
+		x.reqPorts[i] = 0
+		x.respPorts[i] = 0
+	}
+	x.ReqFlits, x.RespFlits, x.QueueDelay = 0, 0, 0
+}

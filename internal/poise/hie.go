@@ -1,0 +1,449 @@
+package poise
+
+import (
+	"fmt"
+	"math"
+
+	"poise/internal/cache"
+	"poise/internal/config"
+	"poise/internal/sim"
+	"poise/internal/sm"
+	"poise/internal/trace"
+)
+
+// hieState enumerates the per-SM FSM of the hardware inference engine
+// (paper §VI; the hardware budget is one 7-state FSM per SM).
+type hieState int
+
+const (
+	stBaseWarm     hieState = iota // warming up at the baseline tuple
+	stBaseSample                   // sampling features at the baseline tuple
+	stRefWarm                      // warming up at (1, 1)
+	stRefSample                    // sampling features at (1, 1)
+	stSearchWarm                   // warming up at a local-search probe
+	stSearchSample                 // sampling a local-search probe
+	stRun                          // executing at the converged tuple
+)
+
+func (s hieState) String() string {
+	switch s {
+	case stBaseWarm:
+		return "base-warmup"
+	case stBaseSample:
+		return "base-sample"
+	case stRefWarm:
+		return "ref-warmup"
+	case stRefSample:
+		return "ref-sample"
+	case stSearchWarm:
+		return "search-warmup"
+	case stSearchSample:
+		return "search-sample"
+	case stRun:
+		return "run"
+	default:
+		return fmt.Sprintf("hieState(%d)", int(s))
+	}
+}
+
+// snapshot captures the cumulative counters of one SM at a window edge.
+type snapshot struct {
+	l1 cache.Stats
+	c  sm.Counters
+}
+
+func snap(s *sm.SM) snapshot { return snapshot{l1: s.L1.Stats, c: s.C} }
+
+// windowFrom converts the delta between two snapshots into a feature
+// Window.
+func windowFrom(a, b snapshot) Window {
+	return WindowFrom(b.l1.Sub(a.l1), b.c.Sub(a.c))
+}
+
+// ipcSince returns instructions per cycle between a snapshot and now.
+func ipcSince(a snapshot, s *sm.SM, cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(s.C.Instructions-a.c.Instructions) / float64(cycles)
+}
+
+// searchAxis identifies which knob the local search is optimising.
+type searchAxis int
+
+const (
+	axisN searchAxis = iota
+	axisP
+)
+
+// hie is the per-SM inference engine state.
+type hie struct {
+	state    hieState
+	nextAt   int64
+	epochEnd int64
+
+	base    Window  // features sampled at the baseline tuple
+	baseIPC float64 // IPC observed during the baseline feature window
+	snapA   snapshot
+
+	// Local search state (gradient ascent with stride halving).
+	axis     searchAxis
+	curN     int
+	curP     int
+	stride   int
+	probe    int             // tuple position being sampled
+	measured map[int]float64 // cache of measured IPCs along the active axis
+
+	predN, predP int // raw prediction of this epoch (for displacement stats)
+
+	// Run-phase accounting for the fallback guard: the IPC of the long
+	// run window is the only unbiased signal (probe windows right after
+	// a tuple switch ride on in-flight state).
+	runSnap    snapshot
+	runStartAt int64
+	runN, runP int
+	strikes    int
+	checked    bool // interim run-phase check done for this epoch
+
+	// Displacement bookkeeping across the kernel (Fig. 10).
+	dispN, dispP, dispE float64
+	decided             int
+}
+
+// Policy is Poise's runtime scheduler policy: one HIE per SM driving
+// the modified GTO scheduler through prediction, local search and run
+// phases each inference epoch.
+type Policy struct {
+	Params  config.PoiseParams
+	Weights Weights
+	// DisableSearch runs pure predictions (stride (0,0) of Fig. 11).
+	DisableSearch bool
+	// NoFallback disables the baseline-IPC guard. The guard is an
+	// engineering extension over the paper: the HIE already measures
+	// IPC at the maximum tuple during feature sampling, so when the
+	// locally-searched tuple samples *worse* than that reference the
+	// epoch runs at maximum warps instead. It bounds the damage of a
+	// mispredicted throttle on TLP-loving kernels to roughly the
+	// sampling overhead. Set NoFallback for paper-exact behaviour.
+	NoFallback bool
+
+	// Fallbacks counts epochs that reverted to the maximum tuple.
+	Fallbacks int
+
+	engines []*hie
+	maxN    int
+}
+
+// NewPolicy builds the Poise policy with trained weights.
+func NewPolicy(params config.PoiseParams, w Weights) *Policy {
+	return &Policy{Params: params, Weights: w}
+}
+
+// Name implements sim.Policy.
+func (p *Policy) Name() string { return "Poise" }
+
+// Displacement reports the mean absolute displacement between the
+// predicted and converged tuples along each axis, and the mean
+// Euclidean distance, across all inference epochs of the last run —
+// the paper's Fig. 10 metric.
+func (p *Policy) Displacement() (dN, dP, euclid float64, ok bool) {
+	var sn, sp, se float64
+	n := 0
+	for _, e := range p.engines {
+		sn += e.dispN
+		sp += e.dispP
+		se += e.dispE
+		n += e.decided
+	}
+	if n == 0 {
+		return 0, 0, 0, false
+	}
+	return sn / float64(n), sp / float64(n), se / float64(n), true
+}
+
+// KernelStart implements sim.Policy.
+func (p *Policy) KernelStart(g *sim.GPU, k *trace.Kernel) int64 {
+	p.maxN = g.MaxN()
+	p.engines = p.engines[:0]
+	g.SetTupleAll(p.maxN, p.maxN)
+	for i := 0; i < len(g.SMs); i++ {
+		e := &hie{measured: map[int]float64{}}
+		p.startEpoch(g, e, i, 0)
+		p.engines = append(p.engines, e)
+	}
+	return 1 // engines manage their own next cycles from here
+}
+
+// KernelEnd implements sim.Policy.
+func (p *Policy) KernelEnd(g *sim.GPU, now int64) {}
+
+// Step implements sim.Policy.
+func (p *Policy) Step(g *sim.GPU, now int64) int64 {
+	next := sim.Never
+	for i, e := range p.engines {
+		if now >= e.nextAt {
+			p.advance(g, e, i, now)
+		}
+		if e.nextAt < next {
+			next = e.nextAt
+		}
+	}
+	return next
+}
+
+// startEpoch begins a new inference epoch on SM i at cycle now.
+func (p *Policy) startEpoch(g *sim.GPU, e *hie, i int, now int64) {
+	e.state = stBaseWarm
+	e.epochEnd = now + int64(p.Params.TPeriod)
+	e.nextAt = now + int64(p.Params.TWarmup)
+	g.SetTuple(i, p.maxN, p.maxN)
+}
+
+// advance runs one FSM transition for SM i.
+func (p *Policy) advance(g *sim.GPU, e *hie, i int, now int64) {
+	s := g.SMs[i]
+	switch e.state {
+	case stBaseWarm:
+		e.snapA = snap(s)
+		e.state = stBaseSample
+		e.nextAt = now + int64(p.Params.TFeature)
+
+	case stBaseSample:
+		e.base = windowFrom(e.snapA, snap(s))
+		e.baseIPC = ipcSince(e.snapA, s, int64(p.Params.TFeature))
+		// Compute-intensive cut-off (paper §VI-A): kernels with In above
+		// Imax run at maximum warps; skip prediction and search.
+		if e.base.InstrPerLoad > float64(p.Params.IMax) {
+			p.enterRun(g, e, i, p.maxN, p.maxN)
+			return
+		}
+		// Fallback guard: after two epochs whose throttled run phase
+		// underperformed the baseline window, pin the kernel to maximum
+		// warps (prediction is not working for it).
+		if !p.NoFallback && e.strikes >= 2 {
+			p.enterRun(g, e, i, p.maxN, p.maxN)
+			return
+		}
+		g.SetTuple(i, 1, 1)
+		e.state = stRefWarm
+		e.nextAt = now + int64(p.Params.TWarmup)
+
+	case stRefWarm:
+		e.snapA = snap(s)
+		e.state = stRefSample
+		e.nextAt = now + int64(p.Params.TFeature)
+
+	case stRefSample:
+		ref := windowFrom(e.snapA, snap(s))
+		x := Features(e.base, ref)
+		n, pp := p.Weights.PredictTuple(x, p.maxN)
+		e.predN, e.predP = n, pp
+		e.curN, e.curP = n, pp
+		g.LogPrediction(i, n, pp)
+		if p.DisableSearch || (p.Params.StrideN == 0 && p.Params.StrideP == 0) {
+			p.finishSearch(g, e, i)
+			return
+		}
+		// Begin the local search on the N axis.
+		e.axis = axisN
+		e.stride = p.Params.StrideN
+		e.measured = map[int]float64{}
+		if e.stride == 0 {
+			// Search only the p axis (stride configs like (0, 4)).
+			e.axis = axisP
+			e.stride = p.Params.StrideP
+		}
+		p.searchNext(g, e, i, now)
+
+	case stSearchWarm:
+		e.snapA = snap(s)
+		e.state = stSearchSample
+		e.nextAt = now + int64(p.Params.TSearch)
+
+	case stSearchSample:
+		e.measured[e.probe] = ipcSince(e.snapA, s, int64(p.Params.TSearch))
+		p.searchNext(g, e, i, now)
+
+	case stRun:
+		if now >= e.epochEnd {
+			p.scoreRunPhase(e, s, now)
+			p.startEpoch(g, e, i, now)
+			return
+		}
+		// Interim fallback check: a throttled run phase that trails the
+		// baseline window after a substantial unbiased sample reverts to
+		// maximum warps for the rest of the epoch.
+		if !e.checked {
+			e.checked = true
+			runIPC := ipcSince(e.runSnap, s, now-e.runStartAt)
+			if e.baseIPC > 0 && runIPC < e.baseIPC {
+				e.strikes++
+				p.Fallbacks++
+				p.enterRun(g, e, i, p.maxN, p.maxN)
+				return
+			}
+		}
+		e.nextAt = e.epochEnd
+	}
+}
+
+// scoreRunPhase closes out an epoch's run window for the fallback
+// guard: a throttled run phase that underperformed the epoch's baseline
+// window earns a strike; a healthy one forgives an earlier strike.
+func (p *Policy) scoreRunPhase(e *hie, s *sm.SM, now int64) {
+	if p.NoFallback || e.runStartAt <= 0 || now <= e.runStartAt {
+		return
+	}
+	if e.runN >= p.maxN && e.runP >= p.maxN {
+		return // ran at the baseline tuple: nothing to judge
+	}
+	runIPC := ipcSince(e.runSnap, s, now-e.runStartAt)
+	if e.baseIPC > 0 && runIPC < e.baseIPC {
+		e.strikes++
+		p.Fallbacks++
+	} else if e.strikes > 0 {
+		e.strikes--
+	}
+}
+
+// enterRun pins a tuple for the rest of the epoch and opens the
+// run-phase measurement window, scheduling the interim fallback check
+// when the tuple is throttled.
+func (p *Policy) enterRun(g *sim.GPU, e *hie, i, n, pp int) {
+	g.SetTuple(i, n, pp)
+	e.runN, e.runP = n, pp
+	e.runSnap = snap(g.SMs[i])
+	e.runStartAt = g.Now()
+	e.state = stRun
+	e.checked = true
+	e.nextAt = e.epochEnd
+	if p.NoFallback || (n >= p.maxN && pp >= p.maxN) {
+		return
+	}
+	// Schedule the interim fallback check once the run phase has had
+	// time to warm the cache at the new tuple (half the epoch): early
+	// windows systematically under-measure throttled tuples.
+	interim := int64(p.Params.TPeriod / 2)
+	if g.Now()+interim < e.epochEnd {
+		e.checked = false
+		e.nextAt = g.Now() + interim
+	}
+}
+
+// scheduleProbe steers SM i to a probe position on the active axis and
+// starts its warmup.
+func (p *Policy) scheduleProbe(g *sim.GPU, e *hie, i int, now int64, pos int) {
+	n, pp := e.curN, e.curP
+	if e.axis == axisN {
+		n = pos
+		if pp > n {
+			pp = n
+		}
+	} else {
+		pp = pos
+	}
+	g.SetTuple(i, n, pp)
+	e.probe = pos
+	e.state = stSearchWarm
+	e.nextAt = now + int64(p.Params.TWarmup)
+}
+
+// searchNext implements the gradient-ascent step of paper §VI-B: probe
+// the current point, then its two stride-neighbours; move to a better
+// neighbour keeping the stride, or halve the stride, terminating at
+// stride zero; then switch from the N axis to the p axis.
+func (p *Policy) searchNext(g *sim.GPU, e *hie, i int, now int64) {
+	cur := e.curN
+	lo, hi := 1, p.maxN
+	if e.axis == axisP {
+		cur = e.curP
+		hi = e.curN
+	}
+	// Ensure the current point is measured first.
+	if _, ok := e.measured[cur]; !ok {
+		p.scheduleProbe(g, e, i, now, cur)
+		return
+	}
+	// Probe neighbours at the current stride.
+	left, right := cur-e.stride, cur+e.stride
+	if left >= lo {
+		if _, ok := e.measured[left]; !ok {
+			p.scheduleProbe(g, e, i, now, left)
+			return
+		}
+	}
+	if right <= hi {
+		if _, ok := e.measured[right]; !ok {
+			p.scheduleProbe(g, e, i, now, right)
+			return
+		}
+	}
+	// All positions of this round measured: move or shrink.
+	curIPC := e.measured[cur]
+	bestPos, bestIPC := cur, curIPC
+	if left >= lo && e.measured[left] > bestIPC {
+		bestPos, bestIPC = left, e.measured[left]
+	}
+	if right <= hi && e.measured[right] > bestIPC {
+		bestPos, bestIPC = right, e.measured[right]
+	}
+	if bestPos != cur {
+		if e.axis == axisN {
+			e.curN = bestPos
+			if e.curP > e.curN {
+				e.curP = e.curN
+			}
+		} else {
+			e.curP = bestPos
+		}
+		p.searchNext(g, e, i, now) // neighbours of the new point
+		return
+	}
+	e.stride /= 2
+	if e.stride > 0 {
+		p.searchNext(g, e, i, now)
+		return
+	}
+	// Converged on this axis.
+	if e.axis == axisN {
+		e.axis = axisP
+		e.stride = p.Params.StrideP
+		e.measured = map[int]float64{}
+		if e.curP > e.curN {
+			e.curP = e.curN
+		}
+		if e.stride == 0 {
+			p.finishSearch(g, e, i)
+			return
+		}
+		p.searchNext(g, e, i, now)
+		return
+	}
+	p.finishSearch(g, e, i)
+}
+
+// finishSearch pins the converged tuple for the rest of the epoch and
+// records displacement statistics. With the fallback guard enabled, a
+// converged tuple whose sampled IPC fell below the baseline window's
+// reverts to maximum warps for this epoch.
+func (p *Policy) finishSearch(g *sim.GPU, e *hie, i int) {
+	if e.curP > e.curN {
+		e.curP = e.curN
+	}
+	// Displacement is measured between the prediction and the *search*
+	// outcome (the paper's Fig. 10 metric), before any fallback.
+	dn := float64(abs(e.curN - e.predN))
+	dp := float64(abs(e.curP - e.predP))
+	e.dispN += dn
+	e.dispP += dp
+	e.dispE += math.Sqrt(dn*dn + dp*dp)
+	e.decided++
+	p.enterRun(g, e, i, e.curN, e.curP)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

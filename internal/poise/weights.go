@@ -1,0 +1,139 @@
+package poise
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Weights is a trained Poise model: one weight per feature for each of
+// the two link functions ln(N) = alpha.X and ln(p) = beta.X (paper
+// Eq. 13 / Table II). The compiler ships these 64 bytes of state to
+// the GPU via constant memory; the HIE evaluates the two dot products
+// once per inference epoch.
+type Weights struct {
+	Alpha [NumFeatures]float64 `json:"alpha"` // weights for output N
+	Beta  [NumFeatures]float64 `json:"beta"`  // weights for output p
+
+	// Training metadata (not used at inference time).
+	DispersionN  float64 `json:"dispersion_n"` // NB dispersion of the N model
+	DispersionP  float64 `json:"dispersion_p"`
+	TrainKernels int     `json:"train_kernels"` // admitted kernels
+	PseudoR2N    float64 `json:"pseudo_r2_n"`
+	PseudoR2P    float64 `json:"pseudo_r2_p"`
+	Dropped      int     `json:"dropped"` // ablated feature index, -1 = none
+}
+
+// hwMaxWarps is the per-scheduler warp bound the training targets are
+// scaled to (paper §V-C): 24 on the baseline hardware.
+const hwMaxWarps = 24
+
+// Predict evaluates the link functions on x and returns the raw
+// (scaled-space) predictions before reverse scaling.
+func (w Weights) Predict(x Vector) (nScaled, pScaled float64) {
+	var etaN, etaP float64
+	for i := 0; i < NumFeatures; i++ {
+		etaN += w.Alpha[i] * x[i]
+		etaP += w.Beta[i] * x[i]
+	}
+	return math.Exp(clamp(etaN, -10, 10)), math.Exp(clamp(etaP, -10, 10))
+}
+
+// PredictTuple predicts a concrete warp-tuple for a kernel whose
+// scheduler exposes maxN warps: the scaled-space prediction is
+// reverse-scaled (paper §VI-A), rounded and clamped to 1 <= p <= N <=
+// maxN.
+func (w Weights) PredictTuple(x Vector, maxN int) (n, p int) {
+	ns, ps := w.Predict(x)
+	n = reverseScale(ns, maxN)
+	p = reverseScale(ps, maxN)
+	if p > n {
+		p = n
+	}
+	return n, p
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ScaleTarget maps a profiled target value (found with maxN warps
+// available) into the uniform 24-warp training space.
+func ScaleTarget(v, maxN int) float64 {
+	if maxN <= 0 {
+		maxN = hwMaxWarps
+	}
+	s := float64(v) * hwMaxWarps / float64(maxN)
+	if s < 1 {
+		s = 1
+	}
+	if s > hwMaxWarps {
+		s = hwMaxWarps
+	}
+	return s
+}
+
+// reverseScale maps a scaled-space prediction back to the kernel's
+// actual warp bound.
+func reverseScale(scaled float64, maxN int) int {
+	if maxN <= 0 {
+		maxN = hwMaxWarps
+	}
+	v := int(math.Round(scaled * float64(maxN) / hwMaxWarps))
+	if v < 1 {
+		v = 1
+	}
+	if v > maxN {
+		v = maxN
+	}
+	return v
+}
+
+// Save writes the weights as JSON (the artefact cmd/poisetrain emits;
+// in the paper's deployment story this is what the compiler embeds).
+func (w Weights) Save(path string) error {
+	data, err := json.MarshalIndent(w, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadWeights reads weights saved by Save.
+func LoadWeights(path string) (Weights, error) {
+	var w Weights
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return w, err
+	}
+	if err := json.Unmarshal(data, &w); err != nil {
+		return w, fmt.Errorf("poise: corrupt weights %s: %w", path, err)
+	}
+	return w, nil
+}
+
+// Validate rejects weight sets that cannot have come from training.
+func (w Weights) Validate() error {
+	all0 := true
+	for i := range w.Alpha {
+		if w.Alpha[i] != 0 || w.Beta[i] != 0 {
+			all0 = false
+		}
+		if math.IsNaN(w.Alpha[i]) || math.IsInf(w.Alpha[i], 0) ||
+			math.IsNaN(w.Beta[i]) || math.IsInf(w.Beta[i], 0) {
+			return errors.New("poise: weights contain NaN/Inf")
+		}
+	}
+	if all0 {
+		return errors.New("poise: weights are all zero (untrained)")
+	}
+	return nil
+}

@@ -1,0 +1,301 @@
+// Package profile runs offline {N, p} solution-space sweeps — the
+// static profiling step that SWL, PCAL-SWL and Static-Best rely on in
+// the paper's evaluation, and the data source for Poise's training
+// targets. A Profile stores the speedup of one kernel at every swept
+// warp-tuple, normalised to the GTO baseline at maximum warps.
+package profile
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"poise/internal/config"
+	"poise/internal/sim"
+	"poise/internal/trace"
+)
+
+// Point is one profiled warp-tuple.
+type Point struct {
+	N, P    int
+	IPC     float64
+	Speedup float64 // IPC / baseline IPC
+	HitRate float64
+	AML     float64
+}
+
+// Profile is the solution-space map of one kernel.
+type Profile struct {
+	Kernel   string
+	MaxN     int     // per-scheduler warp bound during the sweep
+	Baseline Point   // the (MaxN, MaxN) GTO point
+	Points   []Point // all swept points (includes the baseline tuple)
+
+	// BaselineFeatures carries aggregate kernel statistics sampled at
+	// the baseline run, used by the training pipeline.
+	BaselineCycles int64
+	BaselineInstr  int64
+}
+
+// Lookup returns the point at (n, p) and whether it was swept.
+func (pr *Profile) Lookup(n, p int) (Point, bool) {
+	for _, pt := range pr.Points {
+		if pt.N == n && pt.P == p {
+			return pt, true
+		}
+	}
+	return Point{}, false
+}
+
+// Best returns the highest-speedup point.
+func (pr *Profile) Best() Point {
+	best := pr.Baseline
+	for _, pt := range pr.Points {
+		if pt.Speedup > best.Speedup {
+			best = pt
+		}
+	}
+	return best
+}
+
+// BestDiagonal returns the best point with p == N — the reach of SWL
+// (static CCWS), which couples the two knobs.
+func (pr *Profile) BestDiagonal() Point {
+	best := pr.Baseline
+	for _, pt := range pr.Points {
+		if pt.N == pt.P && pt.Speedup > best.Speedup {
+			best = pt
+		}
+	}
+	return best
+}
+
+// Sweep options.
+type SweepOptions struct {
+	// StepN/StepP control grid resolution (1 = exhaustive). The
+	// diagonal p == N is always included at StepN resolution, since the
+	// SWL baseline needs it.
+	StepN, StepP int
+	// MaxCycles guards each run.
+	MaxCycles int64
+}
+
+func (o SweepOptions) withDefaults() SweepOptions {
+	if o.StepN <= 0 {
+		o.StepN = 1
+	}
+	if o.StepP <= 0 {
+		o.StepP = 1
+	}
+	return o
+}
+
+// Sweep profiles kernel k across the {N, p} space on the given
+// configuration. The kernel runs once per grid point; speedups are
+// relative to the (max, max) GTO tuple.
+func Sweep(cfg config.Config, k *trace.Kernel, opts SweepOptions) (*Profile, error) {
+	opts = opts.withDefaults()
+	g, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	maxN := cfg.WarpsPerSched
+	if k.MaxWarpsPerSched > 0 && k.MaxWarpsPerSched < maxN {
+		maxN = k.MaxWarpsPerSched
+	}
+
+	runAt := func(n, p int) (Point, sim.KernelResult, error) {
+		res, err := g.Run(k, sim.Fixed{N: n, P: p}, sim.RunOptions{MaxCycles: opts.MaxCycles})
+		if err != nil {
+			return Point{}, res, err
+		}
+		return Point{
+			N: n, P: p,
+			IPC:     res.IPC,
+			HitRate: res.L1.HitRate(),
+			AML:     res.AML,
+		}, res, nil
+	}
+
+	base, baseRes, err := runAt(maxN, maxN)
+	if err != nil {
+		return nil, fmt.Errorf("profile: baseline run: %w", err)
+	}
+	base.Speedup = 1
+	pr := &Profile{
+		Kernel: k.Name, MaxN: maxN, Baseline: base,
+		BaselineCycles: baseRes.Cycles,
+		BaselineInstr:  baseRes.Instructions,
+	}
+
+	seen := map[[2]int]bool{}
+	add := func(n, p int) error {
+		if n < 1 || p < 1 || p > n || n > maxN || seen[[2]int{n, p}] {
+			return nil
+		}
+		seen[[2]int{n, p}] = true
+		if n == maxN && p == maxN {
+			pr.Points = append(pr.Points, base)
+			return nil
+		}
+		pt, _, err := runAt(n, p)
+		if err != nil {
+			return fmt.Errorf("profile: point (%d,%d): %w", n, p, err)
+		}
+		if base.IPC > 0 {
+			pt.Speedup = pt.IPC / base.IPC
+		}
+		pr.Points = append(pr.Points, pt)
+		return nil
+	}
+
+	for n := 1; n <= maxN; n += opts.StepN {
+		for p := 1; p <= n; p += opts.StepP {
+			if err := add(n, p); err != nil {
+				return nil, err
+			}
+		}
+		// Always close the diagonal and the column top.
+		if err := add(n, n); err != nil {
+			return nil, err
+		}
+	}
+	// Ensure the corner rows/columns the paper's figures reference.
+	for _, pt := range [][2]int{{maxN, maxN}, {maxN, 1}, {1, 1}} {
+		if err := add(pt[0], pt[1]); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(pr.Points, func(i, j int) bool {
+		if pr.Points[i].N != pr.Points[j].N {
+			return pr.Points[i].N < pr.Points[j].N
+		}
+		return pr.Points[i].P < pr.Points[j].P
+	})
+	return pr, nil
+}
+
+// Score implements the paper's Eq. 12 neighbourhood scoring at point
+// (a, b): the weighted sum of speedups over the 3x3 neighbourhood,
+// normalised by the weights of the neighbours present. Missing
+// neighbours (boundary or unswept) are excluded from the normalisation,
+// matching the paper's boundary handling.
+func (pr *Profile) Score(a, b int, w0, w1, w2 float64) (float64, bool) {
+	if _, ok := pr.Lookup(a, b); !ok {
+		return 0, false
+	}
+	weightAt := func(k int) float64 {
+		switch k {
+		case 0:
+			return w0
+		case 1:
+			return w1
+		default:
+			return w2
+		}
+	}
+	var sum, norm float64
+	for i := -1; i <= 1; i++ {
+		for j := -1; j <= 1; j++ {
+			pt, ok := pr.Lookup(a+i, b+j)
+			if !ok {
+				continue
+			}
+			w := weightAt(abs(i) + abs(j))
+			sum += w * pt.Speedup
+			norm += w
+		}
+	}
+	if norm == 0 {
+		return 0, false
+	}
+	return sum / norm, true
+}
+
+// BestScore returns the point with the highest Eq. 12 score and that
+// score. Weights follow Table IV.
+func (pr *Profile) BestScore(p config.PoiseParams) (Point, float64) {
+	best := pr.Baseline
+	bestScore := math.Inf(-1)
+	for _, pt := range pr.Points {
+		s, ok := pr.Score(pt.N, pt.P, p.ScoreW0, p.ScoreW1, p.ScoreW2)
+		if !ok {
+			continue
+		}
+		if s > bestScore {
+			bestScore, best = s, pt
+		}
+	}
+	return best, bestScore
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Store caches profiles on disk as JSON, keyed by kernel name and a
+// caller-supplied tag (configuration digest), so expensive sweeps run
+// once per configuration.
+type Store struct {
+	Dir string
+}
+
+func (s Store) path(tag, kernel string) string {
+	return filepath.Join(s.Dir, fmt.Sprintf("%s_%s.json", tag, kernel))
+}
+
+// Load reads a cached profile; it returns os.ErrNotExist if absent.
+func (s Store) Load(tag, kernel string) (*Profile, error) {
+	if s.Dir == "" {
+		return nil, os.ErrNotExist
+	}
+	data, err := os.ReadFile(s.path(tag, kernel))
+	if err != nil {
+		return nil, err
+	}
+	var pr Profile
+	if err := json.Unmarshal(data, &pr); err != nil {
+		return nil, fmt.Errorf("profile: corrupt cache %s: %w", s.path(tag, kernel), err)
+	}
+	return &pr, nil
+}
+
+// Save writes a profile to the cache.
+func (s Store) Save(tag string, pr *Profile) error {
+	if s.Dir == "" {
+		return errors.New("profile: store has no directory")
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(pr, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(s.path(tag, pr.Kernel), data, 0o644)
+}
+
+// LoadOrSweep returns the cached profile or runs the sweep and caches
+// it.
+func (s Store) LoadOrSweep(tag string, cfg config.Config, k *trace.Kernel, opts SweepOptions) (*Profile, error) {
+	if pr, err := s.Load(tag, k.Name); err == nil {
+		return pr, nil
+	}
+	pr, err := Sweep(cfg, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	if s.Dir != "" {
+		if err := s.Save(tag, pr); err != nil {
+			return nil, err
+		}
+	}
+	return pr, nil
+}

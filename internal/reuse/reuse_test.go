@@ -1,0 +1,131 @@
+package reuse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"poise/internal/stats"
+)
+
+// naiveStackDistance computes the stack distance of each access by
+// brute force: the number of distinct addresses since the previous
+// access to the same address (-1 for cold).
+func naiveStackDistance(stream []uint64) []int {
+	out := make([]int, len(stream))
+	for i, a := range stream {
+		last := -1
+		for j := i - 1; j >= 0; j-- {
+			if stream[j] == a {
+				last = j
+				break
+			}
+		}
+		if last < 0 {
+			out[i] = -1
+			continue
+		}
+		distinct := map[uint64]bool{}
+		for j := last + 1; j < i; j++ {
+			distinct[stream[j]] = true
+		}
+		out[i] = len(distinct)
+	}
+	return out
+}
+
+func TestProfilerMatchesNaive(t *testing.T) {
+	stream := []uint64{1, 2, 3, 1, 2, 2, 4, 1, 5, 3}
+	want := naiveStackDistance(stream)
+	p := NewProfiler(64)
+	for i, a := range stream {
+		got := p.Touch(a)
+		if got != want[i] {
+			t.Fatalf("access %d (addr %d): distance %d, want %d", i, a, got, want[i])
+		}
+	}
+}
+
+// Property: profiler agrees with the naive reference on random streams.
+func TestProfilerMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		n := 20 + rng.Intn(80)
+		space := 1 + rng.Intn(20)
+		stream := make([]uint64, n)
+		for i := range stream {
+			stream[i] = uint64(rng.Intn(space))
+		}
+		want := naiveStackDistance(stream)
+		p := NewProfiler(256)
+		for i, a := range stream {
+			if p.Touch(a) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColdMissesAndDistinct(t *testing.T) {
+	p := NewProfiler(16)
+	for _, a := range []uint64{1, 2, 3, 1, 2} {
+		p.Touch(a)
+	}
+	if p.ColdMisses != 3 {
+		t.Fatalf("ColdMisses = %d, want 3", p.ColdMisses)
+	}
+	if p.Distinct() != 3 {
+		t.Fatalf("Distinct = %d, want 3", p.Distinct())
+	}
+	if p.Accesses != 5 {
+		t.Fatalf("Accesses = %d, want 5", p.Accesses)
+	}
+}
+
+func TestMeanDistance(t *testing.T) {
+	p := NewProfiler(16)
+	// 1,2,1: the reuse of 1 has distance 1. 2 never reused.
+	p.Touch(1)
+	p.Touch(2)
+	p.Touch(1)
+	if got := p.MeanDistance(); got != 1 {
+		t.Fatalf("MeanDistance = %v, want 1", got)
+	}
+	empty := NewProfiler(4)
+	if empty.MeanDistance() != 0 {
+		t.Fatal("MeanDistance of empty profiler must be 0")
+	}
+}
+
+func TestHitRateAtCapacity(t *testing.T) {
+	p := NewProfiler(64)
+	// Cyclic sweep over 8 addresses, 10 rounds: after the cold round,
+	// every access has stack distance 7.
+	for r := 0; r < 10; r++ {
+		for a := uint64(0); a < 8; a++ {
+			p.Touch(a)
+		}
+	}
+	// A cache of 8 lines captures all 72 reuses; one of 4 captures none.
+	if got := p.HitRateAtCapacity(8); got < 0.89 || got > 0.91 {
+		t.Fatalf("HitRateAtCapacity(8) = %v, want 0.9", got)
+	}
+	if got := p.HitRateAtCapacity(4); got != 0 {
+		t.Fatalf("HitRateAtCapacity(4) = %v, want 0", got)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	p := NewProfiler(4)
+	// Distance 6 reuse must land in the final (capped) bucket.
+	for _, a := range []uint64{1, 2, 3, 4, 5, 6, 7, 1} {
+		p.Touch(a)
+	}
+	h := p.Histogram()
+	if h[4] != 1 {
+		t.Fatalf("overflow bucket = %d, want 1 (hist %v)", h[4], h)
+	}
+}

@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"poise/internal/sim"
+	"poise/internal/trace"
+)
+
+// CCWS is the dynamic Cache-Conscious Wavefront Scheduling policy
+// (Rogers et al., MICRO 2012), reimplemented at the fidelity the paper
+// compares against: per-warp victim tag arrays detect lost intra-warp
+// locality, and an aggregate lost-locality score throttles the number
+// of schedulable warps (p stays coupled to N, the diagonal of the
+// solution space). The paper's evaluation uses the static flavour
+// (SWL); the dynamic version is provided for completeness and for the
+// pitfalls analysis of §III.
+type CCWS struct {
+	// VictimEntriesPerWarp sizes the victim tag arrays (8 in the
+	// original proposal).
+	VictimEntriesPerWarp int
+	// TSample is the throttle-decision period in cycles.
+	TSample int
+	// RaiseThreshold and LowerThreshold bound the lost-locality score
+	// (per kilo-cycle, per SM) that triggers throttling up or down.
+	RaiseThreshold float64
+	LowerThreshold float64
+
+	n      int
+	maxN   int
+	nextAt int64
+}
+
+// NewCCWS returns a CCWS policy with the canonical parameters.
+func NewCCWS(sample int) *CCWS {
+	return &CCWS{
+		VictimEntriesPerWarp: 8,
+		TSample:              sample,
+		RaiseThreshold:       8.0,
+		LowerThreshold:       1.0,
+	}
+}
+
+// Name implements sim.Policy.
+func (c *CCWS) Name() string { return "CCWS" }
+
+// KernelStart implements sim.Policy.
+func (c *CCWS) KernelStart(g *sim.GPU, k *trace.Kernel) int64 {
+	c.maxN = g.MaxN()
+	c.n = c.maxN
+	g.SetTupleAll(c.n, c.n)
+	for _, s := range g.SMs {
+		s.L1.EnableVictimTags(c.VictimEntriesPerWarp, g.Cfg.MaxWarpsPerSM())
+		s.L1.Victim().Drain()
+	}
+	c.nextAt = int64(c.TSample)
+	return c.nextAt
+}
+
+// KernelEnd implements sim.Policy.
+func (c *CCWS) KernelEnd(g *sim.GPU, now int64) {}
+
+// Step implements sim.Policy.
+func (c *CCWS) Step(g *sim.GPU, now int64) int64 {
+	// Aggregate lost-locality detections across SMs for this window.
+	var lost int64
+	for _, s := range g.SMs {
+		for _, v := range s.L1.Victim().Drain() {
+			lost += v
+		}
+	}
+	perKCycle := float64(lost) / float64(len(g.SMs)) / (float64(c.TSample) / 1000)
+	switch {
+	case perKCycle > c.RaiseThreshold && c.n > 1:
+		c.n--
+	case perKCycle < c.LowerThreshold && c.n < c.maxN:
+		c.n++
+	}
+	g.SetTupleAll(c.n, c.n)
+	c.nextAt = now + int64(c.TSample)
+	return c.nextAt
+}

@@ -1,0 +1,195 @@
+package sched
+
+import (
+	"math"
+
+	"poise/internal/sim"
+	"poise/internal/trace"
+)
+
+// PCALSWL is the dynamic Priority-based Cache Allocation policy seeded
+// by SWL (the paper's strongest prior-work comparison point, §VII-C):
+//
+//  1. Start each kernel at the SWL throttle level (n, n) found by the
+//     static profiler — the paper grants PCAL this head start to remove
+//     CCWS's runtime overhead from the comparison.
+//  2. Search p in parallel across SMs: each SM trials a different p for
+//     one sampling window; the best-performing p wins (Li et al.'s
+//     per-SM parallel trial).
+//  3. Hill-climb N with unit stride: sample N, then N+dir; move while
+//     the neighbour improves. This is the step that is prone to the
+//     local optima the paper's Fig. 2 dissects.
+type PCALSWL struct {
+	// Start supplies the per-kernel SWL seed (from profiles).
+	Start TupleSource
+	// TWarmup/TSample mirror Poise's windows for a fair comparison.
+	TWarmup int
+	TSample int
+
+	state   pcalState
+	n, p    int
+	maxN    int
+	win     ipcWindow
+	nextAt  int64
+	curIPC  float64
+	dir     int
+	perSMp  []int
+	epochAt int64
+	period  int
+}
+
+type pcalState int
+
+const (
+	pcalWarm pcalState = iota
+	pcalParallelP
+	pcalClimbCur
+	pcalClimbNext
+	pcalRun
+)
+
+// NewPCALSWL builds the policy with Poise-equivalent sampling windows.
+func NewPCALSWL(start TupleSource, warmup, sample, period int) *PCALSWL {
+	return &PCALSWL{Start: start, TWarmup: warmup, TSample: sample, period: period}
+}
+
+// Name implements sim.Policy.
+func (p *PCALSWL) Name() string { return "PCAL-SWL" }
+
+// KernelStart implements sim.Policy.
+func (p *PCALSWL) KernelStart(g *sim.GPU, k *trace.Kernel) int64 {
+	p.maxN = g.MaxN()
+	n := p.maxN
+	if t, ok := p.Start[k.Name]; ok {
+		n = t[0]
+	}
+	if n > p.maxN {
+		n = p.maxN
+	}
+	p.n, p.p = n, n
+	g.SetTupleAll(p.n, p.p)
+	p.state = pcalWarm
+	p.nextAt = int64(p.TWarmup)
+	p.epochAt = int64(p.period)
+	return p.nextAt
+}
+
+// KernelEnd implements sim.Policy.
+func (p *PCALSWL) KernelEnd(g *sim.GPU, now int64) {}
+
+// Step implements sim.Policy.
+func (p *PCALSWL) Step(g *sim.GPU, now int64) int64 {
+	switch p.state {
+	case pcalWarm:
+		// Parallel p trial: spread candidate p values over the SMs.
+		p.perSMp = p.perSMp[:0]
+		for i := range g.SMs {
+			cand := 1 + (i*(p.n-1))/maxInt(len(g.SMs)-1, 1)
+			if cand > p.n {
+				cand = p.n
+			}
+			p.perSMp = append(p.perSMp, cand)
+			g.SetTuple(i, p.n, cand)
+		}
+		p.win = beginWindow(g, now)
+		p.state = pcalParallelP
+		p.nextAt = now + int64(p.TSample)
+
+	case pcalParallelP:
+		per := p.win.ipcPerSM(g, now)
+		best, bestIPC := p.p, math.Inf(-1)
+		for i, ipc := range per {
+			if ipc > bestIPC {
+				bestIPC, best = ipc, p.perSMp[i]
+			}
+		}
+		p.p = best
+		g.SetTupleAll(p.n, p.p)
+		p.win = beginWindow(g, now)
+		p.state = pcalClimbCur
+		p.nextAt = now + int64(p.TWarmup+p.TSample)
+		p.dir = +1
+
+	case pcalClimbCur:
+		p.curIPC = p.win.ipc(g, now)
+		next := p.n + p.dir
+		if next < 1 || next > p.maxN {
+			if p.dir == 1 {
+				// Try the other direction before giving up.
+				p.dir = -1
+				p.Step(g, now)
+				return p.nextAt
+			}
+			p.enterRun(g, now)
+			return p.nextAt
+		}
+		g.SetTupleAll(next, minInt(p.p, next))
+		p.win = beginWindow(g, now)
+		p.state = pcalClimbNext
+		p.nextAt = now + int64(p.TWarmup+p.TSample)
+
+	case pcalClimbNext:
+		nextIPC := p.win.ipc(g, now)
+		cand := p.n + p.dir
+		if nextIPC > p.curIPC {
+			// Accept the move and keep climbing in this direction.
+			p.n = cand
+			if p.p > p.n {
+				p.p = p.n
+			}
+			p.curIPC = nextIPC
+			p.state = pcalClimbCur
+			g.SetTupleAll(p.n, p.p)
+			p.Step(g, now)
+			return p.nextAt
+		}
+		if p.dir == 1 {
+			// Reverse once, re-probing from the current point.
+			p.dir = -1
+			g.SetTupleAll(p.n, p.p)
+			p.state = pcalClimbCur
+			p.win = beginWindow(g, now)
+			p.nextAt = now + int64(p.TSample)
+			return p.nextAt
+		}
+		p.enterRun(g, now)
+
+	case pcalRun:
+		if p.period > 0 && now >= p.epochAt {
+			// Re-tune periodically, like the dynamic scheme it is.
+			p.epochAt = now + int64(p.period)
+			p.state = pcalWarm
+			g.SetTupleAll(p.n, p.p)
+			p.nextAt = now + int64(p.TWarmup)
+		} else {
+			p.nextAt = sim.Never
+			if p.period > 0 {
+				p.nextAt = p.epochAt
+			}
+		}
+	}
+	return p.nextAt
+}
+
+func (p *PCALSWL) enterRun(g *sim.GPU, now int64) {
+	g.SetTupleAll(p.n, p.p)
+	p.state = pcalRun
+	p.nextAt = p.epochAt
+	if p.period <= 0 {
+		p.nextAt = sim.Never
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

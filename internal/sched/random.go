@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"poise/internal/sim"
+	"poise/internal/stats"
+	"poise/internal/trace"
+)
+
+// RandomRestart is the stochastic-search alternative evaluated in the
+// paper's §VII-J: pick a random warp-tuple, gradient-ascend locally
+// (same search as Poise's HIE), run until the epoch ends, then restart
+// from a new random tuple. It avoids local optima in the limit but has
+// no good starting point, so convergence is slow — the behaviour the
+// paper contrasts Poise against. Results should be averaged over
+// several seeds (the paper uses 20 runs).
+type RandomRestart struct {
+	Seed    int64
+	TWarmup int
+	TSample int
+	Period  int
+	StrideN int
+	StrideP int
+
+	rng      *stats.RNG
+	maxN     int
+	n, p     int
+	axisN    bool
+	stride   int
+	measured map[int]float64
+	probe    int
+	win      ipcWindow
+	state    rrState
+	nextAt   int64
+	epochEnd int64
+}
+
+type rrState int
+
+const (
+	rrProbeWarm rrState = iota
+	rrProbeSample
+	rrRun
+)
+
+// NewRandomRestart builds the policy.
+func NewRandomRestart(seed int64, warmup, sample, period, strideN, strideP int) *RandomRestart {
+	return &RandomRestart{
+		Seed: seed, TWarmup: warmup, TSample: sample, Period: period,
+		StrideN: strideN, StrideP: strideP,
+	}
+}
+
+// Name implements sim.Policy.
+func (r *RandomRestart) Name() string { return "Random-restart" }
+
+// KernelStart implements sim.Policy.
+func (r *RandomRestart) KernelStart(g *sim.GPU, k *trace.Kernel) int64 {
+	r.rng = stats.NewRNG(r.Seed ^ int64(len(k.Name))*7919)
+	r.maxN = g.MaxN()
+	r.restart(g, 0)
+	return r.nextAt
+}
+
+// KernelEnd implements sim.Policy.
+func (r *RandomRestart) KernelEnd(g *sim.GPU, now int64) {}
+
+// restart draws a fresh random tuple and begins a local search.
+func (r *RandomRestart) restart(g *sim.GPU, now int64) {
+	r.n = 1 + r.rng.Intn(r.maxN)
+	r.p = 1 + r.rng.Intn(r.n)
+	r.axisN = true
+	r.stride = r.StrideN
+	r.measured = map[int]float64{}
+	r.epochEnd = now + int64(r.Period)
+	g.SetTupleAll(r.n, r.p)
+	r.searchNext(g, now)
+}
+
+// Step implements sim.Policy.
+func (r *RandomRestart) Step(g *sim.GPU, now int64) int64 {
+	switch r.state {
+	case rrProbeWarm:
+		r.win = beginWindow(g, now)
+		r.state = rrProbeSample
+		r.nextAt = now + int64(r.TSample)
+	case rrProbeSample:
+		r.measured[r.probe] = r.win.ipc(g, now)
+		r.searchNext(g, now)
+	case rrRun:
+		if now >= r.epochEnd {
+			r.restart(g, now)
+		} else {
+			r.nextAt = r.epochEnd
+		}
+	}
+	return r.nextAt
+}
+
+func (r *RandomRestart) scheduleProbe(g *sim.GPU, now int64, pos int) {
+	n, p := r.n, r.p
+	if r.axisN {
+		n = pos
+		if p > n {
+			p = n
+		}
+	} else {
+		p = pos
+	}
+	g.SetTupleAll(n, p)
+	r.probe = pos
+	r.state = rrProbeWarm
+	r.nextAt = now + int64(r.TWarmup)
+}
+
+// searchNext mirrors the HIE's gradient ascent (shared shape, separate
+// state; the policies must stay independent like the hardware units
+// they model).
+func (r *RandomRestart) searchNext(g *sim.GPU, now int64) {
+	cur, lo, hi := r.n, 1, r.maxN
+	if !r.axisN {
+		cur, hi = r.p, r.n
+	}
+	if _, ok := r.measured[cur]; !ok {
+		r.scheduleProbe(g, now, cur)
+		return
+	}
+	for _, nb := range []int{cur - r.stride, cur + r.stride} {
+		if nb >= lo && nb <= hi {
+			if _, ok := r.measured[nb]; !ok {
+				r.scheduleProbe(g, now, nb)
+				return
+			}
+		}
+	}
+	bestPos, bestIPC := cur, r.measured[cur]
+	for _, nb := range []int{cur - r.stride, cur + r.stride} {
+		if nb >= lo && nb <= hi && r.measured[nb] > bestIPC {
+			bestPos, bestIPC = nb, r.measured[nb]
+		}
+	}
+	if bestPos != cur {
+		if r.axisN {
+			r.n = bestPos
+			if r.p > r.n {
+				r.p = r.n
+			}
+		} else {
+			r.p = bestPos
+		}
+		r.searchNext(g, now)
+		return
+	}
+	r.stride /= 2
+	if r.stride > 0 {
+		r.searchNext(g, now)
+		return
+	}
+	if r.axisN {
+		r.axisN = false
+		r.stride = r.StrideP
+		r.measured = map[int]float64{}
+		if r.stride > 0 {
+			r.searchNext(g, now)
+			return
+		}
+	}
+	g.SetTupleAll(r.n, r.p)
+	r.state = rrRun
+	r.nextAt = r.epochEnd
+}

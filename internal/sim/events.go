@@ -1,0 +1,79 @@
+package sim
+
+// Event kinds for the simulator's wake-up heap. The heap exists so the
+// main loop can jump over stretches where every warp is blocked on
+// memory: any state change that could make a warp issueable again must
+// be represented by an event.
+type eventKind uint8
+
+const (
+	// evWake advances the clock; the warp state referenced resolves
+	// lazily (L1 hit returns, pipeline latencies, replay backoff).
+	evWake eventKind = iota
+	// evFill completes an L1 miss: release the MSHR, fill the cache,
+	// wake all merged waiters, account AML.
+	evFill
+)
+
+type event struct {
+	cycle int64
+	kind  eventKind
+	sm    int32
+	line  uint64 // evFill: line address keying the MSHR
+}
+
+// eventHeap is a binary min-heap ordered by cycle. A hand-rolled heap
+// avoids the interface boxing of container/heap in the simulator's
+// hottest auxiliary structure.
+type eventHeap struct {
+	a []event
+}
+
+func (h *eventHeap) len() int { return len(h.a) }
+
+func (h *eventHeap) push(e event) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.a[parent].cycle <= h.a[i].cycle {
+			break
+		}
+		h.a[parent], h.a[i] = h.a[i], h.a[parent]
+		i = parent
+	}
+}
+
+func (h *eventHeap) peek() (event, bool) {
+	if len(h.a) == 0 {
+		return event{}, false
+	}
+	return h.a[0], true
+}
+
+func (h *eventHeap) pop() event {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	n := last
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.a[l].cycle < h.a[smallest].cycle {
+			smallest = l
+		}
+		if r < n && h.a[r].cycle < h.a[smallest].cycle {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.a[i], h.a[smallest] = h.a[smallest], h.a[i]
+		i = smallest
+	}
+	return top
+}
+
+func (h *eventHeap) reset() { h.a = h.a[:0] }

@@ -1,0 +1,475 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"poise/internal/cache"
+	"poise/internal/sm"
+	"poise/internal/trace"
+)
+
+// RunOptions bound a simulation.
+type RunOptions struct {
+	// MaxCycles aborts a kernel that exceeds this many cycles (safety
+	// net; 0 means the default of 500M).
+	MaxCycles int64
+	// MaxInstructions stops the kernel early once the GPU has issued
+	// this many instructions (mirrors the paper's 4-billion-instruction
+	// cap; 0 = unlimited).
+	MaxInstructions int64
+	// Warm keeps L2 contents from the previous kernel of a workload.
+	Warm bool
+}
+
+// KernelResult aggregates the measurements of one kernel run.
+type KernelResult struct {
+	Kernel string
+
+	Cycles       int64
+	Instructions int64
+	IPC          float64
+
+	L1 cache.Stats
+	// AML is the mean L1-miss memory latency in core cycles.
+	AML float64
+
+	L2Accesses int64
+	L2Hits     int64
+	DRAMAcc    int64
+
+	NoCReqFlits  int64
+	NoCRespFlits int64
+
+	Replays int64
+	Loads   int64
+	Stores  int64
+
+	// PerSM carries final per-SM counters for policy analysis.
+	PerSM []sm.Counters
+
+	TupleLog []TupleEvent
+}
+
+// L2HitRate returns the kernel's L2 hit rate.
+func (r KernelResult) L2HitRate() float64 {
+	if r.L2Accesses == 0 {
+		return 0
+	}
+	return float64(r.L2Hits) / float64(r.L2Accesses)
+}
+
+// Run executes one kernel to completion under the policy and returns
+// its measurements. The GPU's SM and memory state is reset first
+// (except L2 contents when opts.Warm).
+func (g *GPU) Run(k *trace.Kernel, p Policy, opts RunOptions) (KernelResult, error) {
+	if err := k.Validate(); err != nil {
+		return KernelResult{}, err
+	}
+	if opts.MaxCycles <= 0 {
+		opts.MaxCycles = 500_000_000
+	}
+	g.kernel = k
+	g.bodyLen = len(k.Body)
+	g.nextBlk = 0
+	g.doneWarp = 0
+	g.total = k.TotalWarps()
+	g.now = 0
+	g.events.reset()
+	g.TupleLog = g.TupleLog[:0]
+
+	if !opts.Warm {
+		g.resetMemSide()
+	} else {
+		// Drain timing servers but keep L2 tags warm.
+		g.NoC.Reset()
+		g.DRAM.Reset()
+		for i := range g.banks {
+			g.banks[i].nextFree = 0
+		}
+	}
+	// A block's warps must fit one SM's schedulers under the kernel's
+	// occupancy cap, or nothing can ever launch.
+	if capWarps := g.MaxN() * g.Cfg.SchedulersPerSM; k.WarpsPerBlock > capWarps {
+		return KernelResult{}, fmt.Errorf(
+			"sim: kernel %s has %d warps per block but the SM fits only %d under its occupancy cap",
+			k.Name, k.WarpsPerBlock, capWarps)
+	}
+	for _, s := range g.SMs {
+		s.PrepareKernel(g.bodyLen)
+		s.C = sm.Counters{}
+		s.L1.Stats = cache.Stats{}
+	}
+	g.launchBlocks()
+	if g.total == 0 {
+		return KernelResult{}, errors.New("sim: kernel launched zero warps")
+	}
+
+	policyNext := Never
+	if p != nil {
+		policyNext = p.KernelStart(g, k)
+		if policyNext <= 0 {
+			policyNext = Never
+		}
+	}
+
+	for g.doneWarp < g.total {
+		// Deliver due events.
+		for {
+			e, ok := g.events.peek()
+			if !ok || e.cycle > g.now {
+				break
+			}
+			g.events.pop()
+			if e.kind == evFill {
+				g.completeFill(e)
+			}
+		}
+		if p != nil && g.now >= policyNext {
+			policyNext = p.Step(g, g.now)
+			if policyNext <= g.now {
+				policyNext = g.now + 1
+			}
+		}
+
+		anyIssued := false
+		for _, s := range g.SMs {
+			for _, sch := range s.Scheds {
+				if g.issueOne(s, sch) {
+					anyIssued = true
+				}
+			}
+		}
+
+		if g.now >= opts.MaxCycles {
+			return KernelResult{}, fmt.Errorf("sim: kernel %s exceeded %d cycles", k.Name, opts.MaxCycles)
+		}
+		if opts.MaxInstructions > 0 && g.totalInstructions() >= opts.MaxInstructions {
+			break
+		}
+
+		if anyIssued {
+			g.now++
+			continue
+		}
+		// Idle: jump to the next interesting cycle.
+		next := Never
+		if e, ok := g.events.peek(); ok {
+			next = e.cycle
+		}
+		if policyNext < next {
+			next = policyNext
+		}
+		// Lazily-resolved wakes (hit returns, pipeline) are events too,
+		// so a Never here with warps outstanding means either parked
+		// replayers whose wake-up fills already drained (wake them all
+		// and continue) or a genuine deadlock.
+		if next == Never {
+			if g.wakeAllReplayers() {
+				g.now++
+				continue
+			}
+			if g.doneWarp < g.total {
+				return KernelResult{}, fmt.Errorf("sim: deadlock at cycle %d in %s (%d/%d warps done)",
+					g.now, k.Name, g.doneWarp, g.total)
+			}
+			break
+		}
+		if next <= g.now {
+			next = g.now + 1
+		}
+		g.now = next
+	}
+
+	if p != nil {
+		p.KernelEnd(g, g.now)
+	}
+	return g.collect(k), nil
+}
+
+// wakeAllReplayers resolves every parked replay token (used when the
+// event heap drains while warps still sit in replay queues, which can
+// happen when the warp admitted by the final fill was not vital). It
+// reports whether any warp was woken.
+func (g *GPU) wakeAllReplayers() bool {
+	woke := false
+	for _, s := range g.SMs {
+		for _, r := range s.ReplayQ {
+			sch := s.Scheds[r.Sched]
+			w := &sch.Slots[r.Slot]
+			if w.Active && w.Global == r.Warp {
+				w.ResolveToken(r.Token)
+				woke = true
+			}
+		}
+		s.ReplayQ = s.ReplayQ[:0]
+		if woke {
+			for _, sch := range s.Scheds {
+				sch.ClearWakeHint()
+			}
+		}
+	}
+	return woke
+}
+
+func (g *GPU) totalInstructions() int64 {
+	var t int64
+	for _, s := range g.SMs {
+		t += s.C.Instructions
+	}
+	return t
+}
+
+// collect gathers the result after a kernel drains.
+func (g *GPU) collect(k *trace.Kernel) KernelResult {
+	res := KernelResult{
+		Kernel: k.Name,
+		Cycles: g.now,
+	}
+	var aml, amlN int64
+	for _, s := range g.SMs {
+		res.Instructions += s.C.Instructions
+		res.Loads += s.C.Loads
+		res.Stores += s.C.Stores
+		res.Replays += s.C.Replays
+		aml += s.C.AMLSum
+		amlN += s.C.AMLCount
+		st := s.L1.Stats
+		res.L1.Accesses += st.Accesses
+		res.L1.Hits += st.Hits
+		res.L1.IntraWarpHits += st.IntraWarpHits
+		res.L1.InterWarpHits += st.InterWarpHits
+		res.L1.PolluteAccesses += st.PolluteAccesses
+		res.L1.PolluteHits += st.PolluteHits
+		res.L1.NoPollAccesses += st.NoPollAccesses
+		res.L1.NoPollHits += st.NoPollHits
+		res.L1.Evictions += st.Evictions
+		res.L1.Bypasses += st.Bypasses
+		res.L1.Fills += st.Fills
+		res.PerSM = append(res.PerSM, s.C)
+	}
+	if amlN > 0 {
+		res.AML = float64(aml) / float64(amlN)
+	}
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(res.Cycles)
+	}
+	res.L2Accesses = g.L2Accesses
+	res.L2Hits = g.L2Hits
+	res.DRAMAcc = g.DRAM.Accesses
+	res.NoCReqFlits = g.NoC.ReqFlits
+	res.NoCRespFlits = g.NoC.RespFlits
+	res.TupleLog = append([]TupleEvent(nil), g.TupleLog...)
+	return res
+}
+
+// issueOne attempts one instruction issue on a scheduler; it returns
+// whether an instruction was issued.
+func (g *GPU) issueOne(s *sm.SM, sch *sm.Scheduler) bool {
+	if g.now < sch.WakeHint() {
+		if sch.ActiveWarps() > 0 {
+			sch.StallCycles++
+		} else {
+			sch.IdleCycles++
+		}
+		return false
+	}
+	slot := sch.Pick(g.now)
+	if slot < 0 {
+		if sch.ActiveWarps() > 0 {
+			sch.StallCycles++
+		} else {
+			sch.IdleCycles++
+		}
+		sch.SetWakeHint(sch.NextWake(g.now))
+		return false
+	}
+	w := &sch.Slots[slot]
+	ins := &g.kernel.Body[w.BodyIdx]
+	pc := w.BodyIdx
+
+	switch ins.Kind {
+	case trace.OpALU:
+		s.C.Instructions++
+		if ins.DepALU {
+			w.ReadyAt = g.now + int64(g.Cfg.ALULatency)
+			if g.Cfg.ALULatency > 1 {
+				g.events.push(event{cycle: w.ReadyAt, kind: evWake, sm: int32(s.ID)})
+			}
+		} else {
+			w.ReadyAt = g.now + 1
+		}
+	case trace.OpLoad:
+		if !g.issueLoad(s, sch, slot, w, ins, pc) {
+			// MSHR full: replay later without advancing.
+			sch.StallCycles++
+			return false
+		}
+		s.C.Instructions++
+		s.C.Loads++
+		w.ReadyAt = g.now + 1
+	case trace.OpStore:
+		g.issueStore(s, w, ins)
+		s.C.Instructions++
+		s.C.Stores++
+		w.ReadyAt = g.now + 1
+	}
+
+	sch.IssueCycles++
+	if w.Advance(g.bodyLen) {
+		g.retireWarp(s, sch, slot)
+	}
+	return true
+}
+
+// ctxFor builds the trace context for a warp on scheduler sch of SM s.
+func ctxFor(s *sm.SM, schedID int, w *sm.Warp, slot int) trace.Ctx {
+	return trace.Ctx{
+		GlobalWarp: int(w.Global),
+		SM:         s.ID,
+		Sched:      schedID,
+		Slot:       slot,
+		Block:      int(w.Block),
+		WarpInBlk:  int(w.WarpInBlk),
+	}
+}
+
+// issueLoad handles an OpLoad. It returns false when the load could not
+// be issued (MSHR backpressure) — the warp must retry.
+func (g *GPU) issueLoad(s *sm.SM, sch *sm.Scheduler, slot int, w *sm.Warp, ins *trace.Instr, pc int32) bool {
+	ctx := ctxFor(s, sch.ID, w, slot)
+	addr := g.kernel.Patterns[ins.Slot].Addr(ctx, int(w.Iter))
+	lineAddr := s.L1.LineAddr(addr)
+	depFlat := w.FlatIdx + int64(ins.UseDist) + 1
+	pollute := w.Pollute && !s.ShouldBypass(pc)
+
+	// Pre-probe so a load that must be replayed (miss with a full MSHR
+	// file and nothing to merge into) does not distort the statistics:
+	// hardware replays the whole access, so only the final attempt
+	// counts. The warp parks in the SM's replay queue and the next MSHR
+	// release wakes it.
+	if !s.L1.Contains(addr) && s.MSHR.Lookup(lineAddr) == nil && s.MSHR.Full() {
+		s.C.Replays++
+		token := w.NewToken()
+		w.AddPending(sm.Pending{Token: token, DepFlat: w.FlatIdx})
+		s.ReplayQ = append(s.ReplayQ, cache.Waiter{Sched: sch.ID, Slot: slot, Token: token, Warp: w.Global})
+		return false
+	}
+
+	res := s.L1.Lookup(addr, w.Global, pc, w.Pollute)
+	s.RecordLoadPC(pc, res.Hit)
+	if res.Hit {
+		ret := g.now + int64(g.Cfg.L1HitLatency)
+		w.AddPending(sm.Pending{Token: w.NewToken(), DepFlat: depFlat, RetCycle: ret})
+		s.C.HitReturns++
+		g.events.push(event{cycle: ret, kind: evWake, sm: int32(s.ID)})
+		return true
+	}
+
+	// Miss. Merge into an outstanding MSHR when possible.
+	token := w.NewToken()
+	waiter := cache.Waiter{Sched: sch.ID, Slot: slot, Token: token, Warp: w.Global}
+	if m := s.MSHR.Lookup(lineAddr); m != nil {
+		s.MSHR.Merge(m, pollute, waiter)
+		w.AddPending(sm.Pending{Token: token, DepFlat: depFlat})
+		return true
+	}
+	s.MSHR.Allocate(lineAddr, g.now, pollute, w.Global, pc, waiter)
+	w.AddPending(sm.Pending{Token: token, DepFlat: depFlat})
+
+	ret := g.memAccess(s.ID, lineAddr, w.Global, pc, false)
+	g.events.push(event{cycle: ret, kind: evFill, sm: int32(s.ID), line: lineAddr})
+	return true
+}
+
+// memAccess times one request through crossbar, L2 and (on L2 miss)
+// DRAM, returning the cycle the response is fully delivered to the SM.
+// Write requests occupy bandwidth but return immediately meaningful
+// times only for accounting.
+func (g *GPU) memAccess(smID int, lineAddr uint64, warp int32, pc int32, write bool) int64 {
+	arrive := g.NoC.Request(smID, g.now)
+	bank := g.bankFor(lineAddr)
+	start := arrive
+	if bank.nextFree > start {
+		start = bank.nextFree
+	}
+	bank.nextFree = start + g.l2Service
+	lookupDone := bank.nextFree + g.l2Pipe
+
+	g.L2Accesses++
+	r := bank.c.Lookup(lineAddr*uint64(g.Cfg.L2.LineBytes), warp, pc, true)
+	dataReady := lookupDone
+	if r.Hit {
+		g.L2Hits++
+	} else {
+		dataReady = g.DRAM.Access(lineAddr, lookupDone)
+		bank.c.Fill(lineAddr*uint64(g.Cfg.L2.LineBytes), warp, pc, true)
+	}
+	if write {
+		return dataReady
+	}
+	return g.NoC.Response(smID, dataReady, g.respFlits)
+}
+
+// issueStore handles an OpStore: write-through, no-allocate,
+// fire-and-forget; it consumes request-path and DRAM bandwidth.
+func (g *GPU) issueStore(s *sm.SM, w *sm.Warp, ins *trace.Instr) {
+	// Address generation mirrors loads; stores use the same pattern slot.
+	ctx := trace.Ctx{GlobalWarp: int(w.Global), SM: s.ID, Block: int(w.Block), WarpInBlk: int(w.WarpInBlk)}
+	addr := g.kernel.Patterns[ins.Slot].Addr(ctx, int(w.Iter))
+	lineAddr := s.L1.LineAddr(addr)
+	// Data flits occupy the request port.
+	for i := 0; i < g.respFlits-1; i++ {
+		g.NoC.Request(s.ID, g.now)
+	}
+	g.memAccess(s.ID, lineAddr, w.Global, w.BodyIdx, true)
+}
+
+// completeFill finishes an L1 miss: release the MSHR, install the line
+// if any merged requester had pollute privilege, wake waiters, and
+// account the miss latency into AML.
+func (g *GPU) completeFill(e event) {
+	s := g.SMs[e.sm]
+	m := s.MSHR.Release(e.line)
+	if m == nil {
+		return // kernel boundary reset raced with an in-flight fill
+	}
+	s.L1.Fill(e.line*uint64(g.Cfg.L1.LineBytes), m.Warp, m.PC, m.Pollute)
+	s.C.AMLSum += g.now - m.IssueCycle
+	s.C.AMLCount++
+	for _, wt := range m.Waiters {
+		sch := s.Scheds[wt.Sched]
+		w := &sch.Slots[wt.Slot]
+		// The slot may have been recycled for a new warp since the miss
+		// was issued; only the original warp's scoreboard is touched.
+		if w.Active && w.Global == wt.Warp {
+			w.ResolveToken(wt.Token)
+		}
+	}
+	// The released MSHR entry admits one parked replayer (FIFO).
+	for len(s.ReplayQ) > 0 {
+		r := s.ReplayQ[0]
+		s.ReplayQ = s.ReplayQ[1:]
+		sch := s.Scheds[r.Sched]
+		w := &sch.Slots[r.Slot]
+		if w.Active && w.Global == r.Warp {
+			w.ResolveToken(r.Token)
+			break
+		}
+		// Stale entry (warp gone): admit the next one.
+	}
+	// The resolved tokens unblock their owners: rescan this SM's
+	// schedulers.
+	for _, sch := range s.Scheds {
+		sch.ClearWakeHint()
+	}
+}
+
+// retireWarp finishes a warp and refills block residency.
+func (g *GPU) retireWarp(s *sm.SM, sch *sm.Scheduler, slot int) {
+	sch.Retire(slot)
+	g.doneWarp++
+	if g.nextBlk < g.kernel.Blocks {
+		g.launchBlocks()
+	}
+}

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"poise/internal/cache"
+	"poise/internal/config"
+	"poise/internal/trace"
+)
+
+// Workload is an application: a named sequence of kernels run
+// back-to-back, like the multi-kernel CUDA benchmarks of the paper
+// (e.g. ii runs 118 kernels). Metrics aggregate across kernels.
+type Workload struct {
+	Name    string
+	Kernels []*trace.Kernel
+	// MemorySensitive mirrors the paper's Pbest > 1.4 classification;
+	// set by the workload catalogue for reporting.
+	MemorySensitive bool
+}
+
+// Validate checks every kernel.
+func (w *Workload) Validate() error {
+	if w.Name == "" {
+		return errors.New("sim: workload needs a name")
+	}
+	if len(w.Kernels) == 0 {
+		return fmt.Errorf("sim: workload %s has no kernels", w.Name)
+	}
+	for _, k := range w.Kernels {
+		if err := k.Validate(); err != nil {
+			return fmt.Errorf("sim: workload %s kernel %s: %w", w.Name, k.Name, err)
+		}
+	}
+	return nil
+}
+
+// WorkloadResult aggregates a workload run.
+type WorkloadResult struct {
+	Workload string
+	Policy   string
+
+	Cycles       int64
+	Instructions int64
+	IPC          float64
+
+	L1      cache.Stats
+	AML     float64 // load-weighted mean across kernels
+	DRAMAcc int64
+	L2Acc   int64
+	L2Hits  int64
+
+	NoCReqFlits  int64
+	NoCRespFlits int64
+
+	PerKernel []KernelResult
+}
+
+// L1HitRate returns the aggregate L1 hit rate.
+func (r WorkloadResult) L1HitRate() float64 { return r.L1.HitRate() }
+
+// RunWorkload executes every kernel of w in order on a fresh GPU with
+// the given policy and aggregates the results. L2 contents stay warm
+// across the kernels of one workload.
+func RunWorkload(cfg config.Config, w *Workload, p Policy, opts RunOptions) (WorkloadResult, error) {
+	if err := w.Validate(); err != nil {
+		return WorkloadResult{}, err
+	}
+	g, err := New(cfg)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	return g.RunWorkload(w, p, opts)
+}
+
+// RunWorkload executes every kernel of w in order on this GPU.
+func (g *GPU) RunWorkload(w *Workload, p Policy, opts RunOptions) (WorkloadResult, error) {
+	res := WorkloadResult{Workload: w.Name}
+	if p != nil {
+		res.Policy = p.Name()
+	}
+	var amlSum float64
+	var amlW int64
+	for i, k := range w.Kernels {
+		ko := opts
+		ko.Warm = i > 0
+		kr, err := g.Run(k, p, ko)
+		if err != nil {
+			return res, fmt.Errorf("sim: workload %s kernel %s: %w", w.Name, k.Name, err)
+		}
+		res.PerKernel = append(res.PerKernel, kr)
+		res.Cycles += kr.Cycles
+		res.Instructions += kr.Instructions
+		res.L1.Accesses += kr.L1.Accesses
+		res.L1.Hits += kr.L1.Hits
+		res.L1.IntraWarpHits += kr.L1.IntraWarpHits
+		res.L1.InterWarpHits += kr.L1.InterWarpHits
+		res.L1.PolluteAccesses += kr.L1.PolluteAccesses
+		res.L1.PolluteHits += kr.L1.PolluteHits
+		res.L1.NoPollAccesses += kr.L1.NoPollAccesses
+		res.L1.NoPollHits += kr.L1.NoPollHits
+		res.L1.Evictions += kr.L1.Evictions
+		res.L1.Bypasses += kr.L1.Bypasses
+		res.L1.Fills += kr.L1.Fills
+		res.DRAMAcc += kr.DRAMAcc
+		res.L2Acc += kr.L2Accesses
+		res.L2Hits += kr.L2Hits
+		res.NoCReqFlits += kr.NoCReqFlits
+		res.NoCRespFlits += kr.NoCRespFlits
+		if kr.AML > 0 {
+			weight := kr.L1.Accesses - kr.L1.Hits
+			amlSum += kr.AML * float64(weight)
+			amlW += weight
+		}
+	}
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(res.Cycles)
+	}
+	if amlW > 0 {
+		res.AML = amlSum / float64(amlW)
+	}
+	return res, nil
+}
+
+// GTO is the baseline policy: maximum warps, everything pollutes.
+type GTO struct{}
+
+// Name implements Policy.
+func (GTO) Name() string { return "GTO" }
+
+// KernelStart implements Policy.
+func (GTO) KernelStart(g *GPU, k *trace.Kernel) int64 {
+	max := g.MaxN()
+	g.SetTupleAll(max, max)
+	return Never
+}
+
+// Step implements Policy.
+func (GTO) Step(g *GPU, now int64) int64 { return Never }
+
+// KernelEnd implements Policy.
+func (GTO) KernelEnd(g *GPU, now int64) {}
+
+// Fixed pins every SM to one static warp-tuple for the whole run: the
+// building block for SWL (p = N) and for Static-Best profiles.
+type Fixed struct {
+	PolicyName string
+	N, P       int
+	// PerKernel overrides the tuple for specific kernel names (the
+	// Static-Best and SWL policies profile per kernel).
+	PerKernel map[string][2]int
+}
+
+// Name implements Policy.
+func (f Fixed) Name() string {
+	if f.PolicyName != "" {
+		return f.PolicyName
+	}
+	return fmt.Sprintf("Fixed(%d,%d)", f.N, f.P)
+}
+
+// KernelStart implements Policy.
+func (f Fixed) KernelStart(g *GPU, k *trace.Kernel) int64 {
+	n, p := f.N, f.P
+	if t, ok := f.PerKernel[k.Name]; ok {
+		n, p = t[0], t[1]
+	}
+	if n <= 0 {
+		n = g.MaxN()
+	}
+	if p <= 0 {
+		p = n
+	}
+	g.SetTupleAll(n, p)
+	return Never
+}
+
+// Step implements Policy.
+func (f Fixed) Step(g *GPU, now int64) int64 { return Never }
+
+// KernelEnd implements Policy.
+func (f Fixed) KernelEnd(g *GPU, now int64) {}

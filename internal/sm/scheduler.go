@@ -1,0 +1,193 @@
+package sm
+
+// Scheduler is one greedy-then-oldest warp scheduler. It owns a fixed
+// array of warp slots and the warp-tuple state {N, p}: the N oldest
+// active warps carry the vital bit (may be arbitrated), the p oldest
+// carry the pollute bit (their loads may allocate L1 lines). This is
+// the modified GTO scheduler of paper Fig. 6.
+type Scheduler struct {
+	ID    int
+	Slots []Warp
+
+	ageOrder    []int // active slot indices, oldest (smallest Age) first
+	dispatchSeq int64
+	current     int // greedy warp slot, -1 when none
+
+	n, p int // the warp-tuple; clamped to [1, len(Slots)] on use
+
+	// wakeHint caches the earliest cycle at which a vital warp could
+	// become issueable after a failed Pick, so blocked schedulers cost
+	// O(1) per cycle instead of a full scan. NoDep means "blocked on
+	// memory": only a fill event (which clears the hint) can help.
+	wakeHint int64
+
+	// Stats.
+	IssueCycles int64 // cycles this scheduler issued an instruction
+	StallCycles int64 // cycles it had active warps but none ready
+	IdleCycles  int64 // cycles with no active warps at all
+}
+
+// NewScheduler builds a scheduler with capacity warp slots, initially
+// running at maximum TLP (N = p = capacity).
+func NewScheduler(id, capacity int) *Scheduler {
+	s := &Scheduler{
+		ID:      id,
+		Slots:   make([]Warp, capacity),
+		current: -1,
+	}
+	s.n, s.p = capacity, capacity
+	return s
+}
+
+// Capacity returns the number of warp slots.
+func (s *Scheduler) Capacity() int { return len(s.Slots) }
+
+// ActiveWarps returns the number of live warps.
+func (s *Scheduler) ActiveWarps() int { return len(s.ageOrder) }
+
+// Tuple returns the current {N, p} setting.
+func (s *Scheduler) Tuple() (n, p int) { return s.n, s.p }
+
+// SetTuple applies a warp-tuple. Values are clamped to [1, capacity]
+// and p to at most n, mirroring the p <= N constraint of the paper.
+func (s *Scheduler) SetTuple(n, p int) {
+	c := len(s.Slots)
+	if n < 1 {
+		n = 1
+	}
+	if n > c {
+		n = c
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	s.n, s.p = n, p
+	s.refreshBits()
+}
+
+// refreshBits recomputes vital/pollute bits from age order and {N, p}.
+func (s *Scheduler) refreshBits() {
+	for i, slot := range s.ageOrder {
+		w := &s.Slots[slot]
+		w.Vital = i < s.n
+		w.Pollute = i < s.p
+	}
+	// If the greedy warp lost vitality, drop it.
+	if s.current >= 0 && !s.Slots[s.current].Vital {
+		s.current = -1
+	}
+	s.wakeHint = 0
+}
+
+// WakeHint returns the cached earliest-possible issue cycle (0 = none).
+func (s *Scheduler) WakeHint() int64 { return s.wakeHint }
+
+// SetWakeHint caches the next possible issue cycle after a failed Pick.
+func (s *Scheduler) SetWakeHint(c int64) { s.wakeHint = c }
+
+// ClearWakeHint invalidates the cache (a fill arrived for one of this
+// scheduler's warps, or warp/tuple state changed).
+func (s *Scheduler) ClearWakeHint() { s.wakeHint = 0 }
+
+// Launch places a new warp into a free slot and returns its slot index,
+// or -1 if the scheduler is full.
+func (s *Scheduler) Launch(global, block, warpInBlk int32, iters int) int {
+	slot := -1
+	for i := range s.Slots {
+		if !s.Slots[i].Active {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return -1
+	}
+	s.dispatchSeq++
+	w := &s.Slots[slot]
+	w.Reset()
+	w.Active = true
+	w.Global = global
+	w.Block = block
+	w.WarpInBlk = warpInBlk
+	w.TotalIters = int32(iters)
+	w.Age = s.dispatchSeq
+	s.ageOrder = append(s.ageOrder, slot)
+	// Age order stays sorted because dispatchSeq is monotonic.
+	s.refreshBits()
+	return slot
+}
+
+// Retire removes the warp in the given slot (it finished).
+func (s *Scheduler) Retire(slot int) {
+	s.Slots[slot].Active = false
+	for i, v := range s.ageOrder {
+		if v == slot {
+			s.ageOrder = append(s.ageOrder[:i], s.ageOrder[i+1:]...)
+			break
+		}
+	}
+	if s.current == slot {
+		s.current = -1
+	}
+	s.refreshBits()
+}
+
+// Pick returns the slot of the warp to issue from at cycle now,
+// following GTO: stay with the current warp while it can issue, else
+// the oldest ready vital warp. Returns -1 when nothing can issue.
+func (s *Scheduler) Pick(now int64) int {
+	if s.current >= 0 {
+		w := &s.Slots[s.current]
+		if w.Active && w.Vital && w.CanIssue(now) {
+			return s.current
+		}
+	}
+	limit := s.n
+	if limit > len(s.ageOrder) {
+		limit = len(s.ageOrder)
+	}
+	for i := 0; i < limit; i++ {
+		slot := s.ageOrder[i]
+		if s.Slots[slot].CanIssue(now) {
+			s.current = slot
+			return slot
+		}
+	}
+	return -1
+}
+
+// NextWake returns the earliest cycle any vital warp might become
+// issueable, or NoDep when that is unknown (waiting on memory) or there
+// are no vital warps.
+func (s *Scheduler) NextWake(now int64) int64 {
+	earliest := NoDep
+	limit := s.n
+	if limit > len(s.ageOrder) {
+		limit = len(s.ageOrder)
+	}
+	for i := 0; i < limit; i++ {
+		if wake := s.Slots[s.ageOrder[i]].NextWake(now); wake < earliest {
+			earliest = wake
+		}
+	}
+	return earliest
+}
+
+// OldestActive returns the slot of the oldest active warp, or -1.
+func (s *Scheduler) OldestActive() int {
+	if len(s.ageOrder) == 0 {
+		return -1
+	}
+	return s.ageOrder[0]
+}
+
+// VitalCount returns how many active warps currently hold the vital bit.
+func (s *Scheduler) VitalCount() int {
+	if s.n < len(s.ageOrder) {
+		return s.n
+	}
+	return len(s.ageOrder)
+}

@@ -1,0 +1,155 @@
+// Package sm models a streaming multiprocessor: warp contexts with
+// load/use scoreboarding, the greedy-then-oldest (GTO) warp schedulers,
+// and the vital/pollute bit mechanism of the modified scheduler in
+// paper §VI-C. Instruction execution and memory timing live in package
+// sim; this package owns warp state and arbitration.
+package sm
+
+import "math"
+
+// NoDep marks a warp with no outstanding load dependency.
+const NoDep = int64(math.MaxInt64)
+
+// Pending tracks one outstanding load of a warp.
+type Pending struct {
+	Token    int64 // per-warp monotonic id, referenced by MSHR waiters
+	DepFlat  int64 // flattened instruction index of the dependent use
+	RetCycle int64 // known return cycle for L1 hits; 0 while a miss is outstanding
+	Done     bool
+}
+
+// Warp is one warp context in a scheduler slot.
+type Warp struct {
+	Active bool // slot occupied by a live warp
+
+	Global    int32 // global warp id (unique in the launch)
+	Block     int32
+	WarpInBlk int32
+
+	Iter       int32 // current loop iteration
+	TotalIters int32
+	BodyIdx    int32 // next instruction within the body
+	FlatIdx    int64 // Iter*len(body)+BodyIdx, used for dependences
+
+	ReadyAt int64 // earliest cycle the warp may issue (pipeline/replay)
+	Age     int64 // dispatch order; smaller = older (GTO priority)
+
+	Vital   bool // may be scheduled (one of the N oldest)
+	Pollute bool // loads may allocate in L1 (one of the p oldest)
+
+	Pend     []Pending
+	tokenSeq int64
+}
+
+// NewToken mints a load token for this warp.
+func (w *Warp) NewToken() int64 {
+	w.tokenSeq++
+	return w.tokenSeq
+}
+
+// AddPending registers an outstanding load.
+func (w *Warp) AddPending(p Pending) { w.Pend = append(w.Pend, p) }
+
+// ResolveToken marks the pending load with the given token complete.
+// It reports whether the token was found.
+func (w *Warp) ResolveToken(token int64) bool {
+	for i := range w.Pend {
+		if w.Pend[i].Token == token {
+			w.Pend[i].Done = true
+			return true
+		}
+	}
+	return false
+}
+
+// depBlocked reports whether the warp's next instruction depends on an
+// outstanding load, lazily retiring completed entries.
+func (w *Warp) depBlocked(now int64) bool {
+	blocked := false
+	live := w.Pend[:0]
+	for i := range w.Pend {
+		p := w.Pend[i]
+		if !p.Done && p.RetCycle != 0 && p.RetCycle <= now {
+			p.Done = true
+		}
+		if p.Done {
+			continue
+		}
+		if w.FlatIdx >= p.DepFlat {
+			blocked = true
+		}
+		live = append(live, p)
+	}
+	w.Pend = live
+	return blocked
+}
+
+// CanIssue reports whether the warp may issue at cycle now. Vitality is
+// checked by the scheduler, not here.
+func (w *Warp) CanIssue(now int64) bool {
+	if !w.Active || now < w.ReadyAt {
+		return false
+	}
+	if len(w.Pend) == 0 {
+		return true
+	}
+	return !w.depBlocked(now)
+}
+
+// NextWake returns the earliest future cycle at which this warp could
+// become issueable again, or NoDep if that depends on an MSHR fill
+// event (unknown here). Used by the simulator's idle skip-ahead.
+func (w *Warp) NextWake(now int64) int64 {
+	if !w.Active {
+		return NoDep
+	}
+	wake := w.ReadyAt
+	if wake <= now {
+		wake = now + 1
+	}
+	if len(w.Pend) == 0 {
+		return wake
+	}
+	if !w.depBlocked(now) {
+		return wake
+	}
+	// Blocked on a load: earliest known return, or unknown (miss).
+	earliest := NoDep
+	for i := range w.Pend {
+		p := &w.Pend[i]
+		if p.Done || w.FlatIdx < p.DepFlat {
+			continue
+		}
+		if p.RetCycle == 0 {
+			return NoDep // miss outstanding: an MSHR event will wake us
+		}
+		if p.RetCycle < earliest {
+			earliest = p.RetCycle
+		}
+	}
+	if earliest < wake {
+		return wake
+	}
+	return earliest
+}
+
+// Advance moves the warp to the next instruction; bodyLen is the kernel
+// body length. It reports whether the warp just finished its last
+// instruction.
+func (w *Warp) Advance(bodyLen int) bool {
+	w.BodyIdx++
+	w.FlatIdx++
+	if int(w.BodyIdx) >= bodyLen {
+		w.BodyIdx = 0
+		w.Iter++
+		if w.Iter >= w.TotalIters {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset clears the slot for reuse.
+func (w *Warp) Reset() {
+	*w = Warp{}
+}

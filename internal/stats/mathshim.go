@@ -1,0 +1,8 @@
+package stats
+
+import "math"
+
+// Thin aliases keep rng.go readable without a qualified import on every
+// expression.
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func log(x float64) float64  { return math.Log(x) }

@@ -1,0 +1,266 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	got, err := HarmonicMean([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 / (1 + 0.5 + 0.25)
+	if !almostEq(got, want, 1e-12) {
+		t.Fatalf("HarmonicMean = %v, want %v", got, want)
+	}
+	if _, err := HarmonicMean(nil); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if _, err := HarmonicMean([]float64{1, 0}); err == nil {
+		t.Fatal("expected error on zero value")
+	}
+	if _, err := HarmonicMean([]float64{1, -2}); err == nil {
+		t.Fatal("expected error on negative value")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	got, err := GeometricMean([]float64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 4, 1e-12) {
+		t.Fatalf("GeometricMean = %v, want 4", got)
+	}
+	if _, err := GeometricMean([]float64{-1}); err == nil {
+		t.Fatal("expected error on negative value")
+	}
+}
+
+// The classical mean inequality H <= G <= A must hold for any positive
+// inputs — a property test over random slices.
+func TestMeanInequalityProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			v = math.Abs(v)
+			if v > 1e-6 && v < 1e6 && !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		h, err1 := HarmonicMean(xs)
+		g, err2 := GeometricMean(xs)
+		a := Mean(xs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		const tol = 1e-9
+		return h <= g*(1+tol) && g <= a*(1+tol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEq(got, 4, 1e-12) {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, want -1", r)
+	}
+	if _, err := Pearson(xs, xs[:3]); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Fatal("expected zero-variance error")
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly monotone transform has Spearman correlation 1.
+	xs := []float64{1, 5, 2, 8, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Exp(x)
+	}
+	r, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(r, 1, 1e-12) {
+		t.Fatalf("Spearman = %v, want 1", r)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Fatalf("Quantile(nil) = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 6}, 2)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Normalize = %v, want %v", got, want)
+		}
+	}
+	zero := Normalize([]float64{1}, 0)
+	if zero[0] != 0 {
+		t.Fatal("Normalize by 0 should produce zeros")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds should diverge, %d/100 collisions", same)
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	base := NewRNG(1)
+	f1 := base.Fork(1)
+	base2 := NewRNG(1)
+	f2 := base2.Fork(1)
+	for i := 0; i < 50; i++ {
+		if f1.Uint64() != f2.Uint64() {
+			t.Fatal("forks of identical parents with same id must match")
+		}
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := NewRNG(7)
+	buckets := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for i, b := range buckets {
+		if b < n/10-n/100*3 || b > n/10+n/100*3 {
+			t.Fatalf("bucket %d = %d, too far from uniform %d", i, b, n/10)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(20)
+	seen := map[int]bool{}
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGNormal(t *testing.T) {
+	r := NewRNG(11)
+	const n = 50000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}

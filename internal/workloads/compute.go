@@ -1,0 +1,66 @@
+package workloads
+
+import (
+	"poise/internal/sim"
+	"poise/internal/trace"
+)
+
+// Memory-insensitive workloads for the paper's Fig. 16 robustness check
+// (wc, covar, gramschm, sradv2, hybridsort, hotspot, pathfinder; all
+// with Pbest < 1.2x). Their bodies have long stretches of arithmetic
+// between rare loads (In well above the Imax = 49 cut-off), so Poise's
+// compute-intensive detector must steer them straight to maximum TLP —
+// the experiment verifies the overhead stays within a few percent.
+
+func init() {
+	register("wc", false, computeBuilder("wc", 70, 0, 10))
+	register("covar", false, computeBuilder("covar", 60, 6, 8))
+	register("gramschm", false, computeBuilder("gramschm", 85, 4, 8))
+	register("sradv2", false, computeBuilder("sradv2", 55, 10, 12))
+	register("hotspot", false, computeBuilder("hotspot", 95, 8, 6))
+	register("pathfinder", false, computeBuilder("pathfinder", 75, 0, 8))
+	register("hybridsort", false, buildHybridsort)
+}
+
+// computeBuilder makes a compute-intensive kernel: one load per body
+// with alu independent instructions and dep serially-dependent ones,
+// the latter modelling low-ILP arithmetic chains that bound IPC even
+// with full TLP.
+func computeBuilder(name string, alu, dep, iterScale int) func(Size) *sim.Workload {
+	return func(s Size) *sim.Workload {
+		b := &trace.BodyBuilder{}
+		slot := b.Load(4)
+		b.ALU(alu)
+		if dep > 0 {
+			b.DepALU(dep)
+		}
+		pats := []trace.Pattern{
+			trace.Stream{Region: region(name, 0), WrapLines: 1 << 15, Dwell: 16},
+		}
+		_ = slot
+		k := kernel(name+"#0", b.Body(), pats, iterScale*4*s.factor(), 8, 40)
+		return &sim.Workload{Name: name, Kernels: []*trace.Kernel{k}}
+	}
+}
+
+// buildHybridsort mixes a compute-heavy bucket phase with a short
+// shared-table phase, staying memory-insensitive overall.
+func buildHybridsort(s Size) *sim.Workload {
+	name := "hybridsort"
+	b := &trace.BodyBuilder{}
+	b.ALU(20)
+	b.Load(6)
+	b.ALU(46)
+	b.Load(6)
+	b.ALU(40)
+	iters := 36 * s.factor()
+	pats := []trace.Pattern{
+		trace.Stream{Region: region(name, 0), WrapLines: 1 << 15, Dwell: 16},
+		trace.SharedSweep{Region: region(name, 1), Lines: 24, Step: 1, Dwell: 4},
+	}
+	if b.Slots() != len(pats) {
+		panic("hybridsort: slot mismatch")
+	}
+	k := kernel(name+"#0", b.Body(), pats, iters, 8, 40)
+	return &sim.Workload{Name: name, Kernels: []*trace.Kernel{k}}
+}

@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"fmt"
+
+	"poise/internal/sim"
+	"poise/internal/trace"
+)
+
+// Training-set workloads (paper Table IIIa, top half): Graph Coloring
+// (gco, 12 kernels, Pbest 3.43x), Page View Rank (pvr, 248 kernels,
+// Pbest 2.07x) and Component Label (ccl, 17 kernels, Pbest 1.49x). The
+// paper stresses that training and evaluation stay completely disjoint;
+// these families use different pattern mixes and parameter ranges from
+// the evaluation set, while together spanning the feature space (tiny
+// to huge footprints, intra- vs inter-warp locality, a range of In).
+
+func init() {
+	register("gco", true, buildGCO)
+	register("pvr", true, buildPVR)
+	register("ccl", true, buildCCL)
+}
+
+// buildGCO: graph colouring — irregular private adjacency work with a
+// shared conflict table. Twelve kernel variants sweep the
+// neighbourhood footprint from cache-friendly to thrash-prone.
+func buildGCO(s Size) *sim.Workload {
+	name := "gco"
+	w := &sim.Workload{Name: name}
+	foot := []int{10, 14, 18, 24, 30, 40, 60, 90, 150, 320, 20, 12}
+	for i, lines := range foot {
+		body, slots := memBody(2, 2, 1)
+		pats := []trace.Pattern{
+			trace.IrregularPrivate{Region: region(name, 3*i), Lines: lines, Seed: uint64(0x6c0 + i), Dwell: 2},
+			trace.PrivateSweep{Region: region(name, 3*i+1), Lines: lines/2 + 4, Step: 1},
+		}
+		if slots != len(pats) {
+			panic("gco: slot mismatch")
+		}
+		k := kernel(fmt.Sprintf("%s#%d", name, i), body, pats, 170*s.factor(), 8, 32)
+		k.IterJitter = 0.2
+		w.Kernels = append(w.Kernels, k)
+	}
+	return w
+}
+
+// buildPVR: page view rank — the big training family (the paper's pvr
+// contributes 248 of the 277 training kernels). A parameter grid over
+// private footprint, shared footprint and instruction gap generates a
+// broad spectrum of memory sensitivity, giving the regression a
+// well-spread design matrix.
+func buildPVR(s Size) *sim.Workload {
+	name := "pvr"
+	w := &sim.Workload{Name: name}
+	privs := []int{8, 14, 22, 34, 50}
+	shareds := []int{40, 150, 420}
+	gaps := []int{2, 4}
+	i := 0
+	for _, pl := range privs {
+		for _, sl := range shareds {
+			for _, gap := range gaps {
+				body, slots := memBody(2, gap, 1)
+				pats := []trace.Pattern{
+					trace.PrivateSweep{Region: region(name, 3*i), Lines: pl, Step: 1},
+					trace.SharedSweep{Region: region(name, 3*i+1), Lines: sl, Step: 1, Lag: i % 3, Dwell: 2},
+				}
+				if slots != len(pats) {
+					panic("pvr: slot mismatch")
+				}
+				k := kernel(fmt.Sprintf("%s#%d", name, i), body, pats, 150*s.factor(), 8, 32)
+				w.Kernels = append(w.Kernels, k)
+				i++
+			}
+		}
+	}
+	// Second sub-family: a streaming operand against a shared table —
+	// the regime where the best tuple keeps N high and shrinks only p
+	// (cache allocation protects the table while TLP stays up). Without
+	// these the regression would never learn to predict large N.
+	for _, sl := range []int{60, 90, 120, 170, 260} {
+		for _, gap := range gaps {
+			body, slots := memBody(2, gap, 1)
+			pats := []trace.Pattern{
+				trace.Stream{Region: region(name, 3*i), WrapLines: 1 << 16, Dwell: 8},
+				trace.SharedSweep{Region: region(name, 3*i+1), Lines: sl, Step: 1},
+			}
+			if slots != len(pats) {
+				panic("pvr: slot mismatch")
+			}
+			k := kernel(fmt.Sprintf("%s#%d", name, i), body, pats, 150*s.factor(), 8, 32)
+			w.Kernels = append(w.Kernels, k)
+			i++
+		}
+	}
+	return w
+}
+
+// buildCCL: connected-component labelling — shared irregular label
+// arrays (inter-warp dominated) with a small private stack. Eight
+// variants sweep the label-array size.
+func buildCCL(s Size) *sim.Workload {
+	name := "ccl"
+	w := &sim.Workload{Name: name}
+	labels := []int{100, 180, 300, 500, 900, 1600, 240, 130}
+	for i, lines := range labels {
+		body, slots := memBody(2, 3, 1)
+		pats := []trace.Pattern{
+			trace.IrregularShared{Region: region(name, 3*i), Lines: lines, Seed: uint64(0xcc1 + i), Cluster: 6, Dwell: 2},
+			trace.PrivateSweep{Region: region(name, 3*i+1), Lines: 16, Step: 1},
+		}
+		if slots != len(pats) {
+			panic("ccl: slot mismatch")
+		}
+		k := kernel(fmt.Sprintf("%s#%d", name, i), body, pats, 150*s.factor(), 8, 32)
+		k.IterJitter = 0.15
+		w.Kernels = append(w.Kernels, k)
+	}
+	return w
+}
