@@ -7,16 +7,22 @@
 //	poisebench -run all                # everything (minutes)
 //	poisebench -run fig7,fig8,fig9    # the headline comparison
 //	poisebench -run tableiii          # Pbest classification
+//	poisebench -parallel 4 -run fig7  # bound the worker pool
 //
-// Profiles are cached under -cache; delete the directory to force
-// fresh sweeps.
+// Experiments fan out across -parallel worker goroutines (default:
+// GOMAXPROCS); every table is bit-identical at any worker count, and
+// -seed reseeds the whole suite reproducibly. Profiles are cached
+// under -cache; delete the directory to force fresh sweeps.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"poise/internal/experiments"
@@ -50,6 +56,8 @@ func main() {
 		size     = flag.String("size", "small", "workload size: small | medium | large")
 		cacheDir = flag.String("cache", ".poise-cache", "profile cache directory ('' disables)")
 		seeds    = flag.Int("seeds", 3, "random-restart seeds (paper uses 20)")
+		parallel = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
+		seed     = flag.Int64("seed", 0, "experiment seed (perturbs workload jitter and random-restart; 0 = canonical)")
 		listExp  = flag.Bool("listexp", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -61,12 +69,19 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	h := experiments.NewHarness(experiments.Options{
 		SMs:         *sms,
 		Size:        parseSize(*size),
 		CacheDir:    *cacheDir,
 		RandomSeeds: *seeds,
+		Workers:     *parallel,
+		Seed:        *seed,
+		Ctx:         ctx,
 	})
+	fmt.Printf("running on %d workers (seed %d)\n", h.Workers(), *seed)
 
 	want := map[string]bool{}
 	all := *run == "all"

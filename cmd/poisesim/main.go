@@ -1,80 +1,156 @@
-// Command poisesim runs one workload on the simulated GPU under a
-// chosen warp-scheduling policy and prints the headline metrics.
+// Command poisesim runs one or more workloads on the simulated GPU
+// under a chosen warp-scheduling policy and prints the headline
+// metrics.
 //
 // Usage:
 //
 //	poisesim -workload ii -policy fixed -n 8 -p 2 -sms 8 -size small
+//	poisesim -workload ii,bfs,syr2k -parallel 3   # fan out across cores
 //
 // Policies: gto (baseline greedy-then-oldest, maximum warps) and
 // fixed (pin the warp-tuple to -n/-p). The richer policies (swl, pcal,
 // poise, ...) are exercised via cmd/poisebench, which also feeds them
 // the profiles and trained models they need.
+//
+// A comma-separated -workload list fans the runs out across -parallel
+// worker goroutines (0 = GOMAXPROCS); each run simulates on its own
+// GPU, so results are identical at any worker count and print in the
+// order given. -seed reseeds the workload generator reproducibly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"poise"
 
 	"poise/internal/config"
+	"poise/internal/runner"
 	"poise/internal/sim"
 	"poise/internal/workloads"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "ii", "workload name (see -list)")
-		policy   = flag.String("policy", "gto", "policy: gto | fixed")
+		workload = flag.String("workload", "ii", "comma-separated workload names (see -list)")
+		policy   = flag.String("policy", "gto", "policy: gto | fixed | poise | apcm | ccws | random-restart")
 		n        = flag.Int("n", 0, "fixed policy: vital warps N (0 = max)")
 		p        = flag.Int("p", 0, "fixed policy: polluting warps p (0 = N)")
 		sms      = flag.Int("sms", 8, "number of SMs (scaled memory system)")
 		size     = flag.String("size", "small", "workload size: small | medium | large")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		l1x      = flag.Int("l1x", 1, "multiply L1 capacity (Pbest probes use 64)")
+		parallel = flag.Int("parallel", 0, "worker goroutines for multi-workload runs (0 = GOMAXPROCS)")
+		seed     = flag.Int64("seed", 0, "workload seed (perturbs iteration jitter; 0 = canonical)")
 	)
 	flag.Parse()
 
-	cat := workloads.NewCatalogue(parseSize(*size))
+	cat := workloads.NewCatalogueSeeded(parseSize(*size), *seed)
 	if *list {
 		fmt.Println(strings.Join(cat.Names(), "\n"))
 		return
 	}
-	w, err := cat.Get(*workload)
-	if err != nil {
-		fatal(err)
+	var names []string
+	for _, name := range strings.Split(*workload, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		fatal(fmt.Errorf("no workloads given (see -list for names)"))
+	}
+	ws := make([]*sim.Workload, len(names))
+	for i, name := range names {
+		w, err := cat.Get(name)
+		if err != nil {
+			fatal(err)
+		}
+		ws[i] = w
 	}
 
 	cfg := config.Default().Scale(*sms)
 	if *l1x > 1 {
 		cfg.L1.SizeBytes *= *l1x
 	}
-	var pol sim.Policy
-	switch *policy {
-	case "gto":
-		pol = sim.GTO{}
-	case "fixed":
-		pol = sim.Fixed{N: *n, P: *p}
-	case "poise", "apcm", "ccws", "random-restart":
-		var err error
-		pol, err = poise.NewPolicy(poise.PolicySpec{Name: *policy, Seed: 1})
-		if err != nil {
-			fatal(err)
+
+	// Each run needs its own policy instance (the adaptive policies are
+	// stateful), derived deterministically from the run's index.
+	newPolicy := func(i int) (sim.Policy, error) {
+		switch *policy {
+		case "gto":
+			return sim.GTO{}, nil
+		case "fixed":
+			return sim.Fixed{N: *n, P: *p}, nil
+		case "poise", "apcm", "ccws", "random-restart":
+			// Seed family matches the harness convention (see Fig15):
+			// base seed + run index + 1, so -seed 0 on a single
+			// workload reproduces the canonical stochastic-policy seed.
+			return poise.NewPolicy(poise.PolicySpec{
+				Name: *policy,
+				Seed: *seed + int64(i) + 1,
+			})
+		default:
+			return nil, fmt.Errorf("unknown policy %q", *policy)
 		}
-	default:
-		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+	if _, err := newPolicy(0); err != nil {
+		fatal(err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	type run struct {
+		res     sim.WorkloadResult
+		elapsed time.Duration
+	}
 	start := time.Now()
-	res, err := sim.RunWorkload(cfg, w, pol, sim.RunOptions{})
+	results, err := runner.MapSlice(ctx, *parallel, ws,
+		func(_ context.Context, i int, w *sim.Workload) (run, error) {
+			pol, err := newPolicy(i)
+			if err != nil {
+				return run{}, err
+			}
+			t0 := time.Now()
+			res, err := sim.RunWorkload(cfg, w, pol, sim.RunOptions{})
+			if err != nil {
+				return run{}, err
+			}
+			return run{res: res, elapsed: time.Since(t0)}, nil
+		})
 	if err != nil {
 		fatal(err)
 	}
-	elapsed := time.Since(start)
+	wall := time.Since(start)
 
+	for i, r := range results {
+		if i > 0 {
+			fmt.Println()
+		}
+		printResult(r.res, r.elapsed)
+	}
+	if len(results) > 1 {
+		var serial time.Duration
+		for _, r := range results {
+			serial += r.elapsed
+		}
+		workers := runner.NumWorkers(*parallel)
+		if workers > len(results) {
+			workers = len(results)
+		}
+		fmt.Printf("\n%d workloads on %d workers: %v wall (%v of simulation)\n",
+			len(results), workers,
+			wall.Round(time.Millisecond), serial.Round(time.Millisecond))
+	}
+}
+
+func printResult(res sim.WorkloadResult, elapsed time.Duration) {
 	fmt.Printf("workload        %s (%d kernels)\n", res.Workload, len(res.PerKernel))
 	fmt.Printf("policy          %s\n", res.Policy)
 	fmt.Printf("cycles          %d\n", res.Cycles)

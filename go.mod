@@ -1,0 +1,3 @@
+module poise
+
+go 1.24

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"poise/internal/config"
 	"poise/internal/poise"
 	"poise/internal/profile"
+	"poise/internal/runner"
 	"poise/internal/sim"
 	"poise/internal/trace"
 	"poise/internal/workloads"
@@ -41,6 +43,26 @@ type Options struct {
 	// Weights overrides the embedded default model (zero value = use
 	// DefaultWeights, falling back to training when empty).
 	Weights *poise.Weights
+
+	// Workers bounds the goroutines the harness fans simulations out
+	// across (<= 0 means GOMAXPROCS, 1 forces sequential execution).
+	// Every experiment is bit-identical at any worker count: tasks
+	// share no mutable state and results aggregate in grid order.
+	Workers int
+
+	// Seed perturbs the workload catalogue's iteration-jitter streams
+	// and offsets the random-restart seeds; 0 is the canonical
+	// configuration. Runs with the same seed are reproducible
+	// regardless of Workers.
+	Seed int64
+
+	// Ctx cancels in-flight experiment grids (nil = Background).
+	Ctx context.Context
+
+	// EvalSubset restricts EvalWorkloads to these names (paper order is
+	// kept for names in the evaluation set). Empty means the full set.
+	// Meant for tests and quick interactive runs.
+	EvalSubset []string
 }
 
 func (o Options) withDefaults() Options {
@@ -65,7 +87,9 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Harness owns the shared state of the experiment suite.
+// Harness owns the shared state of the experiment suite. All methods
+// are safe for concurrent use: profiles, the training dataset and the
+// model weights are built at most once behind single-flight caches.
 type Harness struct {
 	Opt    Options
 	Cfg    config.Config
@@ -73,26 +97,62 @@ type Harness struct {
 	Cat    *workloads.Catalogue
 
 	store    profile.Store
-	profiles map[string]*profile.Profile
-	weights  *poise.Weights
-	dataset  *poise.Dataset
+	profiles runner.Cache[string, *profile.Profile]
+	weights  runner.Once[poise.Weights]
+	dataset  runner.Once[*poise.Dataset]
 }
 
 // NewHarness builds a harness.
 func NewHarness(opt Options) *Harness {
 	opt = opt.withDefaults()
 	return &Harness{
-		Opt:      opt,
-		Cfg:      config.Default().Scale(opt.SMs),
-		Params:   config.DefaultPoise(),
-		Cat:      workloads.NewCatalogue(opt.Size),
-		store:    profile.Store{Dir: opt.CacheDir},
-		profiles: map[string]*profile.Profile{},
+		Opt:    opt,
+		Cfg:    config.Default().Scale(opt.SMs),
+		Params: config.DefaultPoise(),
+		Cat:    workloads.NewCatalogueSeeded(opt.Size, opt.Seed),
+		store:  profile.Store{Dir: opt.CacheDir},
 	}
 }
 
+// ctx returns the harness's cancellation context.
+func (h *Harness) ctx() context.Context {
+	if h.Opt.Ctx != nil {
+		return h.Opt.Ctx
+	}
+	return context.Background()
+}
+
+// Workers returns the effective worker count of the harness's
+// execution engine.
+func (h *Harness) Workers() int { return runner.NumWorkers(h.Opt.Workers) }
+
+// narrowWorkers bounds an outer fan-out whose tasks each run
+// Workers-wide profile sweeps inside: two lanes overlap one sweep's
+// sequential baseline with another's tail without multiplying into
+// Workers^2 concurrent GPUs.
+func (h *Harness) narrowWorkers() int {
+	if w := runner.NumWorkers(h.Opt.Workers); w < 2 {
+		return w
+	}
+	return 2
+}
+
+// sweepOptions assembles the profile sweep options for the eval or
+// train grid, threading the worker pool and cancellation through.
+func (h *Harness) sweepOptions(train bool) profile.SweepOptions {
+	o := profile.SweepOptions{
+		StepN: h.Opt.EvalStepN, StepP: h.Opt.EvalStepP,
+		Workers: h.Opt.Workers, Ctx: h.Opt.Ctx,
+	}
+	if train {
+		o.StepN, o.StepP = h.Opt.TrainStepN, h.Opt.TrainStepP
+	}
+	return o
+}
+
 // tag digests the parts of the configuration that change profiles, so
-// the on-disk cache never serves stale sweeps.
+// the on-disk cache never serves stale sweeps. Worker count is
+// deliberately excluded: parallelism never changes results.
 func (h *Harness) tag(train bool) string {
 	s := fmt.Sprintf("sms%d-size%d-l1%d-%v", h.Opt.SMs, h.Opt.Size,
 		h.Cfg.L1.SizeBytes, h.Cfg.L1.Index)
@@ -101,36 +161,54 @@ func (h *Harness) tag(train bool) string {
 	} else {
 		s += fmt.Sprintf("-e%d.%d", h.Opt.EvalStepN, h.Opt.EvalStepP)
 	}
+	if h.Opt.Seed != 0 {
+		s += fmt.Sprintf("-seed%d", h.Opt.Seed)
+	}
 	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:6])
 }
 
 // KernelProfile sweeps (or loads) the profile of one kernel at the
-// evaluation grid.
+// evaluation grid. Concurrent calls for the same kernel share one
+// sweep.
 func (h *Harness) KernelProfile(k *trace.Kernel) (*profile.Profile, error) {
-	if pr, ok := h.profiles[k.Name]; ok {
-		return pr, nil
-	}
-	pr, err := h.store.LoadOrSweep(h.tag(false), h.Cfg, k,
-		profile.SweepOptions{StepN: h.Opt.EvalStepN, StepP: h.Opt.EvalStepP})
-	if err != nil {
-		return nil, err
-	}
-	h.profiles[k.Name] = pr
-	return pr, nil
+	return h.profiles.Get(k.Name, func() (*profile.Profile, error) {
+		return h.store.LoadOrSweep(h.tag(false), h.Cfg, k, h.sweepOptions(false))
+	})
 }
 
-// WorkloadProfiles returns per-kernel profiles for a set of workloads.
+// WorkloadProfiles returns per-kernel profiles for a set of workloads,
+// sweeping distinct kernels concurrently.
 func (h *Harness) WorkloadProfiles(ws []*sim.Workload) (map[string]*profile.Profile, error) {
-	out := map[string]*profile.Profile{}
+	var kernels []*trace.Kernel
+	seen := map[string]bool{}
 	for _, w := range ws {
 		for _, k := range w.Kernels {
+			if !seen[k.Name] {
+				seen[k.Name] = true
+				kernels = append(kernels, k)
+			}
+		}
+	}
+	// Each sweep already parallelises its own grid points across the
+	// full pool, so the outer kernel level stays narrow (two lanes just
+	// to overlap one sweep's sequential baseline run with another's
+	// tail) — a wide outer map would multiply into Workers^2 concurrent
+	// GPUs. The shared profile cache single-flights duplicate names.
+	prs, err := runner.MapSlice(h.ctx(), h.narrowWorkers(), kernels,
+		func(_ context.Context, _ int, k *trace.Kernel) (*profile.Profile, error) {
 			pr, err := h.KernelProfile(k)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: profiling %s: %w", k.Name, err)
 			}
-			out[k.Name] = pr
-		}
+			return pr, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*profile.Profile{}
+	for i, k := range kernels {
+		out[k.Name] = prs[i]
 	}
 	return out, nil
 }
@@ -138,44 +216,29 @@ func (h *Harness) WorkloadProfiles(ws []*sim.Workload) (map[string]*profile.Prof
 // Dataset builds (once) the training dataset from the training
 // workloads.
 func (h *Harness) Dataset() (*poise.Dataset, error) {
-	if h.dataset != nil {
-		return h.dataset, nil
-	}
-	ds, err := poise.BuildDataset(h.Cfg, h.Params, h.Cat.TrainingSet(),
-		profile.SweepOptions{StepN: h.Opt.TrainStepN, StepP: h.Opt.TrainStepP},
-		h.store, h.tag(true))
-	if err != nil {
-		return nil, err
-	}
-	h.dataset = ds
-	return ds, nil
+	return h.dataset.Do(func() (*poise.Dataset, error) {
+		return poise.BuildDataset(h.Cfg, h.Params, h.Cat.TrainingSet(),
+			h.sweepOptions(true), h.store, h.tag(true))
+	})
 }
 
 // ModelWeights returns the weights used by the Poise policy: the
 // explicit override, the embedded defaults, or a fresh training run —
 // in that order.
 func (h *Harness) ModelWeights() (poise.Weights, error) {
-	if h.weights != nil {
-		return *h.weights, nil
-	}
-	if h.Opt.Weights != nil {
-		h.weights = h.Opt.Weights
-		return *h.weights, nil
-	}
-	if w, ok := poise.DefaultWeights(); ok {
-		h.weights = &w
-		return w, nil
-	}
-	ds, err := h.Dataset()
-	if err != nil {
-		return poise.Weights{}, err
-	}
-	w, err := poise.Train(ds, poise.TrainOptions{Drop: -1})
-	if err != nil {
-		return poise.Weights{}, err
-	}
-	h.weights = &w
-	return w, nil
+	return h.weights.Do(func() (poise.Weights, error) {
+		if h.Opt.Weights != nil {
+			return *h.Opt.Weights, nil
+		}
+		if w, ok := poise.DefaultWeights(); ok {
+			return w, nil
+		}
+		ds, err := h.Dataset()
+		if err != nil {
+			return poise.Weights{}, err
+		}
+		return poise.Train(ds, poise.TrainOptions{Drop: -1})
+	})
 }
 
 // PoisePolicy builds a fresh Poise policy (per workload run — the
@@ -193,8 +256,18 @@ func (h *Harness) RunWorkload(w *sim.Workload, p sim.Policy) (sim.WorkloadResult
 	return sim.RunWorkload(h.Cfg, w, p, sim.RunOptions{})
 }
 
-// EvalWorkloads returns the evaluation set (paper order).
-func (h *Harness) EvalWorkloads() []*sim.Workload { return h.Cat.EvalSet() }
+// EvalWorkloads returns the evaluation set (paper order), or the
+// configured subset of it.
+func (h *Harness) EvalWorkloads() []*sim.Workload {
+	if len(h.Opt.EvalSubset) == 0 {
+		return h.Cat.EvalSet()
+	}
+	out := make([]*sim.Workload, 0, len(h.Opt.EvalSubset))
+	for _, name := range h.Opt.EvalSubset {
+		out = append(out, h.Cat.Must(name))
+	}
+	return out
+}
 
 // sortedNames returns map keys in stable order (tables must be
 // deterministic).

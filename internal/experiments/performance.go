@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"poise/internal/energy"
 	"poise/internal/poise"
+	"poise/internal/runner"
 	"poise/internal/sched"
 	"poise/internal/sim"
 	"poise/internal/stats"
@@ -40,22 +42,36 @@ type PerfSummary struct {
 	MeanEnergyRatio float64
 }
 
+// perfCell is one (workload, scheme) grid point of Performance.
+type perfCell struct {
+	res                 sim.WorkloadResult
+	dispN, dispP, dispE float64
+	hasDisp             bool
+}
+
 // Performance runs the evaluation set under every scheme, producing the
 // data behind Figs. 7 (IPC), 8 (L1 hit rate), 9 (AML), 10 (search
-// displacement) and 14 (energy).
+// displacement) and 14 (energy). The workload x scheme grid fans out
+// across the harness's worker pool; every cell builds its own policy
+// instance and GPU, and the rows aggregate in paper order, so the
+// tables are bit-identical at any worker count.
 func (h *Harness) Performance() (*PerfSummary, error) {
 	evalSet := h.EvalWorkloads()
 	profs, err := h.WorkloadProfiles(evalSet)
 	if err != nil {
 		return nil, err
 	}
+	// Materialise the weights before the fan-out so the Poise cells
+	// don't all block on one training run.
+	if _, err := h.ModelWeights(); err != nil {
+		return nil, err
+	}
 	em := energy.Default()
 
-	sum := &PerfSummary{}
-	for _, w := range evalSet {
-		row := PerfRow{Workload: w.Name}
-		var gto sim.WorkloadResult
-		for _, scheme := range SchemeNames {
+	nS := len(SchemeNames)
+	cells, err := runner.Map(h.ctx(), h.Opt.Workers, len(evalSet)*nS,
+		func(_ context.Context, i int) (perfCell, error) {
+			w, scheme := evalSet[i/nS], SchemeNames[i%nS]
 			var pol sim.Policy
 			var pp *poise.Policy
 			switch scheme {
@@ -67,9 +83,10 @@ func (h *Harness) Performance() (*PerfSummary, error) {
 				pol = sched.NewPCALSWL(sched.SWLFromProfiles(profs),
 					h.Params.TWarmup, h.Params.TFeature, h.Params.TPeriod)
 			case "Poise":
+				var err error
 				pp, err = h.PoisePolicy()
 				if err != nil {
-					return nil, err
+					return perfCell{}, err
 				}
 				pol = pp
 			case "Static-Best":
@@ -77,22 +94,35 @@ func (h *Harness) Performance() (*PerfSummary, error) {
 			}
 			res, err := h.RunWorkload(w, pol)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %s under %s: %w", w.Name, scheme, err)
+				return perfCell{}, fmt.Errorf("experiments: %s under %s: %w", w.Name, scheme, err)
 			}
-			if scheme == "GTO" {
-				gto = res
-				row.EnergyGTO = em.OfWorkload(res, h.Cfg.NumSMs).Total()
+			c := perfCell{res: res}
+			if pp != nil {
+				c.dispN, c.dispP, c.dispE, c.hasDisp = pp.Displacement()
 			}
+			return c, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	sum := &PerfSummary{}
+	for wi, w := range evalSet {
+		row := PerfRow{Workload: w.Name}
+		gto := cells[wi*nS].res // SchemeNames[0] is GTO
+		row.EnergyGTO = em.OfWorkload(gto, h.Cfg.NumSMs).Total()
+		for si, scheme := range SchemeNames {
+			c := cells[wi*nS+si]
 			if scheme == "Poise" {
-				row.EnergyPoise = em.OfWorkload(res, h.Cfg.NumSMs).Total()
-				if dN, dP, dE, ok := pp.Displacement(); ok {
-					row.DispN, row.DispP, row.DispE = dN, dP, dE
+				row.EnergyPoise = em.OfWorkload(c.res, h.Cfg.NumSMs).Total()
+				if c.hasDisp {
+					row.DispN, row.DispP, row.DispE = c.dispN, c.dispP, c.dispE
 				}
 			}
-			row.IPC = append(row.IPC, res.IPC)
-			row.Speedup = append(row.Speedup, ratio(res.IPC, gto.IPC))
-			row.HitRate = append(row.HitRate, res.L1.HitRate())
-			row.AML = append(row.AML, ratio(res.AML, gto.AML))
+			row.IPC = append(row.IPC, c.res.IPC)
+			row.Speedup = append(row.Speedup, ratio(c.res.IPC, gto.IPC))
+			row.HitRate = append(row.HitRate, c.res.L1.HitRate())
+			row.AML = append(row.AML, ratio(c.res.AML, gto.AML))
 		}
 		sum.Rows = append(sum.Rows, row)
 	}

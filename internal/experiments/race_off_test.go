@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled lets the simulation-heavy determinism tests shrink when
+// the race detector (which slows the cycle engine ~10x) is on.
+const raceEnabled = false

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkFigureSweep measures the wall-clock of the Fig. 7-10/14
+// figure-reproduction sweep (profile sweeps + the workload x scheme
+// grid) at increasing worker counts:
+//
+//	go test ./internal/experiments -bench FigureSweep -benchtime 1x
+//
+// Every iteration builds a fresh harness with no disk cache so the
+// profile sweeps are measured, not memoised. The grid is
+// embarrassingly parallel — tasks share no state and never block on
+// each other — so on a multi-core machine the expected scaling is
+// near-linear until workers exceed cores (>= 2x at 4 workers on >= 4
+// cores). On a single-core machine the worker counts roughly tie
+// (interleaving concurrent simulations costs a few percent in
+// scheduling and allocation pressure), which bounds the engine's
+// overhead. Results are bit-identical at every worker count — see
+// TestPerformanceBitIdenticalAcrossWorkers.
+func BenchmarkFigureSweep(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h := NewHarness(subsetOptions(workers, 0))
+				sum, err := h.Performance()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sum.Rows) == 0 {
+					b.Fatal("empty summary")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableIIISweep covers the coarser per-workload fan-out shape
+// (one task = two whole-workload simulations).
+func BenchmarkTableIIISweep(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h := NewHarness(subsetOptions(workers, 0))
+				rows, err := h.TableIII()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) == 0 {
+					b.Fatal("empty table")
+				}
+			}
+		})
+	}
+}

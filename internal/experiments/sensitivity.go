@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"poise/internal/config"
 	"poise/internal/poise"
+	"poise/internal/runner"
 	"poise/internal/sched"
 	"poise/internal/sim"
 	"poise/internal/stats"
@@ -21,7 +23,9 @@ type StrideResult struct {
 }
 
 // Fig11 sweeps the local-search stride (εN, εp) over the paper's five
-// settings, including the pure-prediction (0, 0) case.
+// settings, including the pure-prediction (0, 0) case. The GTO
+// baselines and the stride x workload grid both fan out across the
+// worker pool.
 func (h *Harness) Fig11() (*StrideResult, error) {
 	strides := [][2]int{{0, 0}, {1, 1}, {2, 2}, {2, 4}, {4, 4}}
 	w, err := h.ModelWeights()
@@ -30,28 +34,40 @@ func (h *Harness) Fig11() (*StrideResult, error) {
 	}
 	out := &StrideResult{Strides: strides}
 	evalSet := h.EvalWorkloads()
+	gtoRes, err := runner.MapSlice(h.ctx(), h.Opt.Workers, evalSet,
+		func(_ context.Context, _ int, wl *sim.Workload) (sim.WorkloadResult, error) {
+			return h.RunWorkload(wl, sim.GTO{})
+		})
+	if err != nil {
+		return nil, err
+	}
 	gto := map[string]float64{}
-	for _, wl := range evalSet {
-		res, err := h.RunWorkload(wl, sim.GTO{})
-		if err != nil {
-			return nil, err
-		}
-		gto[wl.Name] = res.IPC
+	for wi, wl := range evalSet {
+		gto[wl.Name] = gtoRes[wi].IPC
 		out.Workloads = append(out.Workloads, wl.Name)
 		out.PerWorkload = append(out.PerWorkload, make([]float64, len(strides)))
 	}
-	for sj, st := range strides {
-		params := h.Params
-		params.StrideN, params.StrideP = st[0], st[1]
-		var sp []float64
-		for wi, wl := range evalSet {
+	nW := len(evalSet)
+	cells, err := runner.Map(h.ctx(), h.Opt.Workers, len(strides)*nW,
+		func(_ context.Context, i int) (sim.WorkloadResult, error) {
+			st, wl := strides[i/nW], evalSet[i%nW]
+			params := h.Params
+			params.StrideN, params.StrideP = st[0], st[1]
 			pol := poise.NewPolicy(params, w)
 			pol.DisableSearch = st[0] == 0 && st[1] == 0
 			res, err := h.RunWorkload(wl, pol)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: stride %v on %s: %w", st, wl.Name, err)
+				return res, fmt.Errorf("experiments: stride %v on %s: %w", st, wl.Name, err)
 			}
-			s := ratio(res.IPC, gto[wl.Name])
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for sj := range strides {
+		var sp []float64
+		for wi, wl := range evalSet {
+			s := ratio(cells[sj*nW+wi].IPC, gto[wl.Name])
 			out.PerWorkload[wi][sj] = s
 			sp = append(sp, s)
 		}
@@ -87,22 +103,33 @@ func (h *Harness) Fig12() (*CacheSizeResult, error) {
 		out.Workloads = append(out.Workloads, wl.Name)
 		out.Speedup = append(out.Speedup, make([]float64, len(sizes)))
 	}
-	for si, kb := range sizes {
-		cfg := h.Cfg
-		cfg.L1.SizeBytes = kb * 1024
-		cfg.L1.Index = config.IndexLinear
-		var sp []float64
-		for wi, wl := range evalSet {
+	// One task per (size, workload) cell; each runs its GTO baseline
+	// and the Poise policy on the altered cache configuration.
+	nW := len(evalSet)
+	cells, err := runner.Map(h.ctx(), h.Opt.Workers, len(sizes)*nW,
+		func(_ context.Context, i int) (float64, error) {
+			kb, wl := sizes[i/nW], evalSet[i%nW]
+			cfg := h.Cfg
+			cfg.L1.SizeBytes = kb * 1024
+			cfg.L1.Index = config.IndexLinear
 			gto, err := sim.RunWorkload(cfg, wl, sim.GTO{}, sim.RunOptions{})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			pol := poise.NewPolicy(h.Params, w)
 			res, err := sim.RunWorkload(cfg, wl, pol, sim.RunOptions{})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			s := ratio(res.IPC, gto.IPC)
+			return ratio(res.IPC, gto.IPC), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for si := range sizes {
+		var sp []float64
+		for wi := range evalSet {
+			s := cells[si*nW+wi]
 			out.Speedup[wi][si] = s
 			sp = append(sp, s)
 		}
@@ -142,15 +169,22 @@ func (h *Harness) Fig13() (*FeatureAblationResult, error) {
 	evalSet := h.EvalWorkloads()
 
 	runNoSearch := func(w poise.Weights) (map[string]float64, error) {
+		ipcs, err := runner.MapSlice(h.ctx(), h.Opt.Workers, evalSet,
+			func(_ context.Context, _ int, wl *sim.Workload) (float64, error) {
+				pol := poise.NewPolicy(h.Params, w)
+				pol.DisableSearch = true
+				res, err := h.RunWorkload(wl, pol)
+				if err != nil {
+					return 0, err
+				}
+				return res.IPC, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		out := map[string]float64{}
-		for _, wl := range evalSet {
-			pol := poise.NewPolicy(h.Params, w)
-			pol.DisableSearch = true
-			res, err := h.RunWorkload(wl, pol)
-			if err != nil {
-				return nil, err
-			}
-			out[wl.Name] = res.IPC
+		for wi, wl := range evalSet {
+			out[wl.Name] = ipcs[wi]
 		}
 		return out, nil
 	}
@@ -165,12 +199,17 @@ func (h *Harness) Fig13() (*FeatureAblationResult, error) {
 		out.Workloads = append(out.Workloads, wl.Name)
 		out.Relative = append(out.Relative, make([]float64, len(dropped)))
 	}
-	for dj, d := range dropped {
-		wts, err := poise.Train(ds, poise.TrainOptions{Drop: d})
-		if err != nil {
-			return nil, err
-		}
-		ipcs, err := runNoSearch(wts)
+	// Retrain the five ablated models concurrently (Train only reads
+	// the dataset), then fan each model's no-search evaluation out.
+	models, err := runner.MapSlice(h.ctx(), h.Opt.Workers, dropped,
+		func(_ context.Context, _ int, d int) (poise.Weights, error) {
+			return poise.Train(ds, poise.TrainOptions{Drop: d})
+		})
+	if err != nil {
+		return nil, err
+	}
+	for dj := range dropped {
+		ipcs, err := runNoSearch(models[dj])
 		if err != nil {
 			return nil, err
 		}
@@ -200,47 +239,66 @@ type AlternativesResult struct {
 }
 
 // Fig15 compares Poise with the cache-bypassing and stochastic-search
-// alternatives.
+// alternatives. Each workload is one task; the random-restart seeds
+// are pure functions of (Options.Seed, trial index), so results don't
+// depend on which worker runs them.
 func (h *Harness) Fig15() (*AlternativesResult, error) {
 	out := &AlternativesResult{}
 	evalSet := h.EvalWorkloads()
-	var apcmS, rndS, poiseS []float64
-	for _, wl := range evalSet {
-		gto, err := h.RunWorkload(wl, sim.GTO{})
-		if err != nil {
-			return nil, err
-		}
-		ap, err := h.RunWorkload(wl, sched.NewAPCM(h.Params.TFeature))
-		if err != nil {
-			return nil, err
-		}
-		// Random-restart averaged over seeds.
-		var rndIPC float64
-		for seed := 0; seed < h.Opt.RandomSeeds; seed++ {
-			r, err := h.RunWorkload(wl, sched.NewRandomRestart(int64(seed+1),
-				h.Params.TWarmup, h.Params.TSearch, h.Params.TPeriod,
-				h.Params.StrideN, h.Params.StrideP))
+	if _, err := h.ModelWeights(); err != nil {
+		return nil, err
+	}
+	type altCell struct{ apcm, rnd, poise float64 }
+	cells, err := runner.MapSlice(h.ctx(), h.Opt.Workers, evalSet,
+		func(_ context.Context, _ int, wl *sim.Workload) (altCell, error) {
+			gto, err := h.RunWorkload(wl, sim.GTO{})
 			if err != nil {
-				return nil, err
+				return altCell{}, err
 			}
-			rndIPC += r.IPC
-		}
-		rndIPC /= float64(h.Opt.RandomSeeds)
-		pol, err := h.PoisePolicy()
-		if err != nil {
-			return nil, err
-		}
-		po, err := h.RunWorkload(wl, pol)
-		if err != nil {
-			return nil, err
-		}
+			ap, err := h.RunWorkload(wl, sched.NewAPCM(h.Params.TFeature))
+			if err != nil {
+				return altCell{}, err
+			}
+			// Random-restart averaged over seeds; Options.Seed shifts
+			// the whole family while seed 0 keeps the canonical 1..n.
+			var rndIPC float64
+			for seed := 0; seed < h.Opt.RandomSeeds; seed++ {
+				r, err := h.RunWorkload(wl, sched.NewRandomRestart(h.Opt.Seed+int64(seed+1),
+					h.Params.TWarmup, h.Params.TSearch, h.Params.TPeriod,
+					h.Params.StrideN, h.Params.StrideP))
+				if err != nil {
+					return altCell{}, err
+				}
+				rndIPC += r.IPC
+			}
+			rndIPC /= float64(h.Opt.RandomSeeds)
+			pol, err := h.PoisePolicy()
+			if err != nil {
+				return altCell{}, err
+			}
+			po, err := h.RunWorkload(wl, pol)
+			if err != nil {
+				return altCell{}, err
+			}
+			return altCell{
+				apcm:  ratio(ap.IPC, gto.IPC),
+				rnd:   ratio(rndIPC, gto.IPC),
+				poise: ratio(po.IPC, gto.IPC),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var apcmS, rndS, poiseS []float64
+	for wi, wl := range evalSet {
+		c := cells[wi]
 		out.Workloads = append(out.Workloads, wl.Name)
-		out.APCM = append(out.APCM, ratio(ap.IPC, gto.IPC))
-		out.Random = append(out.Random, ratio(rndIPC, gto.IPC))
-		out.Poise = append(out.Poise, ratio(po.IPC, gto.IPC))
-		apcmS = append(apcmS, ratio(ap.IPC, gto.IPC))
-		rndS = append(rndS, ratio(rndIPC, gto.IPC))
-		poiseS = append(poiseS, ratio(po.IPC, gto.IPC))
+		out.APCM = append(out.APCM, c.apcm)
+		out.Random = append(out.Random, c.rnd)
+		out.Poise = append(out.Poise, c.poise)
+		apcmS = append(apcmS, c.apcm)
+		rndS = append(rndS, c.rnd)
+		poiseS = append(poiseS, c.poise)
 	}
 	for i, s := range [][]float64{apcmS, rndS, poiseS} {
 		hm, err := stats.HarmonicMean(s)
@@ -264,30 +322,45 @@ type ComputeResult struct {
 // Fig16 verifies Poise's compute-intensive cut-off keeps overhead low.
 func (h *Harness) Fig16() (*ComputeResult, error) {
 	out := &ComputeResult{}
+	if _, err := h.ModelWeights(); err != nil {
+		return nil, err
+	}
+	computeSet := h.Cat.ComputeSet()
+	type compCell struct{ poise, pbest float64 }
+	cells, err := runner.MapSlice(h.ctx(), h.Opt.Workers, computeSet,
+		func(_ context.Context, _ int, wl *sim.Workload) (compCell, error) {
+			gto, err := h.RunWorkload(wl, sim.GTO{})
+			if err != nil {
+				return compCell{}, err
+			}
+			pol, err := h.PoisePolicy()
+			if err != nil {
+				return compCell{}, err
+			}
+			po, err := h.RunWorkload(wl, pol)
+			if err != nil {
+				return compCell{}, err
+			}
+			big := h.Cfg
+			big.L1.SizeBytes *= 64
+			pb, err := sim.RunWorkload(big, wl, sim.GTO{}, sim.RunOptions{})
+			if err != nil {
+				return compCell{}, err
+			}
+			return compCell{
+				poise: ratio(po.IPC, gto.IPC),
+				pbest: ratio(pb.IPC, gto.IPC),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var ps []float64
-	for _, wl := range h.Cat.ComputeSet() {
-		gto, err := h.RunWorkload(wl, sim.GTO{})
-		if err != nil {
-			return nil, err
-		}
-		pol, err := h.PoisePolicy()
-		if err != nil {
-			return nil, err
-		}
-		po, err := h.RunWorkload(wl, pol)
-		if err != nil {
-			return nil, err
-		}
-		big := h.Cfg
-		big.L1.SizeBytes *= 64
-		pb, err := sim.RunWorkload(big, wl, sim.GTO{}, sim.RunOptions{})
-		if err != nil {
-			return nil, err
-		}
+	for wi, wl := range computeSet {
 		out.Workloads = append(out.Workloads, wl.Name)
-		out.Poise = append(out.Poise, ratio(po.IPC, gto.IPC))
-		out.Pbest = append(out.Pbest, ratio(pb.IPC, gto.IPC))
-		ps = append(ps, ratio(po.IPC, gto.IPC))
+		out.Poise = append(out.Poise, cells[wi].poise)
+		out.Pbest = append(out.Pbest, cells[wi].pbest)
+		ps = append(ps, cells[wi].poise)
 	}
 	hm, err := stats.HarmonicMean(ps)
 	if err != nil {

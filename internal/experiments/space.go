@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
+
 	"poise/internal/poise"
 	"poise/internal/profile"
 	"poise/internal/reuse"
+	"poise/internal/runner"
 	"poise/internal/sim"
 	"poise/internal/trace"
 )
@@ -151,40 +154,41 @@ type LocalityRow struct {
 	DeltaHpHo float64 // the Delta h_{p/o} the feature analysis keys on
 }
 
-// Fig4 reproduces the locality dissection on ii, bfs, syr2k and cfd.
+// Fig4 reproduces the locality dissection on ii, bfs, syr2k and cfd,
+// one worker per workload.
 func (h *Harness) Fig4() ([]LocalityRow, error) {
-	var out []LocalityRow
-	for _, name := range []string{"ii", "bfs", "syr2k", "cfd"} {
-		w := h.Cat.Must(name)
-		k := w.Kernels[0]
-		g, err := sim.New(h.Cfg)
-		if err != nil {
-			return nil, err
-		}
-		maxN := h.Cfg.WarpsPerSched
-		base, err := g.Run(k, sim.Fixed{N: maxN, P: maxN}, sim.RunOptions{})
-		if err != nil {
-			return nil, err
-		}
-		red, err := g.Run(k, sim.Fixed{N: maxN, P: 1}, sim.RunOptions{})
-		if err != nil {
-			return nil, err
-		}
-		row := LocalityRow{
-			Workload: name,
-			Hp:       red.L1.PolluteHitRate(),
-			Hnp:      red.L1.NoPollHitRate(),
-			Ho:       base.L1.HitRate(),
-		}
-		if base.L1.Hits > 0 {
-			row.IntraPct = 100 * float64(base.L1.IntraWarpHits) / float64(base.L1.Hits)
-			row.InterPct = 100 * float64(base.L1.InterWarpHits) / float64(base.L1.Hits)
-		}
-		row.ReuseDist = kernelReuseDistance(k, 30000)
-		row.DeltaHpHo = row.Hp - row.Ho
-		out = append(out, row)
-	}
-	return out, nil
+	names := []string{"ii", "bfs", "syr2k", "cfd"}
+	return runner.MapSlice(h.ctx(), h.Opt.Workers, names,
+		func(_ context.Context, _ int, name string) (LocalityRow, error) {
+			w := h.Cat.Must(name)
+			k := w.Kernels[0]
+			g, err := sim.New(h.Cfg)
+			if err != nil {
+				return LocalityRow{}, err
+			}
+			maxN := h.Cfg.WarpsPerSched
+			base, err := g.Run(k, sim.Fixed{N: maxN, P: maxN}, sim.RunOptions{})
+			if err != nil {
+				return LocalityRow{}, err
+			}
+			red, err := g.Run(k, sim.Fixed{N: maxN, P: 1}, sim.RunOptions{})
+			if err != nil {
+				return LocalityRow{}, err
+			}
+			row := LocalityRow{
+				Workload: name,
+				Hp:       red.L1.PolluteHitRate(),
+				Hnp:      red.L1.NoPollHitRate(),
+				Ho:       base.L1.HitRate(),
+			}
+			if base.L1.Hits > 0 {
+				row.IntraPct = 100 * float64(base.L1.IntraWarpHits) / float64(base.L1.Hits)
+				row.InterPct = 100 * float64(base.L1.InterWarpHits) / float64(base.L1.Hits)
+			}
+			row.ReuseDist = kernelReuseDistance(k, 30000)
+			row.DeltaHpHo = row.Hp - row.Ho
+			return row, nil
+		})
 }
 
 // kernelReuseDistance replays one warp's load-address stream through

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"poise/internal/poise"
+	"poise/internal/runner"
 	"poise/internal/sim"
 	"poise/internal/workloads"
 )
@@ -41,22 +43,27 @@ func (h *Harness) TableII() (*TableIIResult, error) {
 
 	// Offline accuracy: profile a subset of unseen evaluation kernels,
 	// derive their scored targets, and compare against predictions.
-	var holdout []poise.Sample
-	for _, wl := range h.EvalWorkloads() {
-		k := wl.Kernels[0]
-		pr, err := h.KernelProfile(k)
-		if err != nil {
-			return nil, err
-		}
-		target, _ := pr.BestScore(h.Params)
-		x, err := poise.MeasureFeatures(h.Cfg, k)
-		if err != nil {
-			return nil, err
-		}
-		holdout = append(holdout, poise.Sample{
-			Kernel: k.Name, X: x,
-			RawN: target.N, RawP: target.P, MaxN: pr.MaxN,
+	// One task per holdout workload; narrow outer width because each
+	// task's profile sweep fans out across the full pool itself.
+	holdout, err := runner.MapSlice(h.ctx(), h.narrowWorkers(), h.EvalWorkloads(),
+		func(_ context.Context, _ int, wl *sim.Workload) (poise.Sample, error) {
+			k := wl.Kernels[0]
+			pr, err := h.KernelProfile(k)
+			if err != nil {
+				return poise.Sample{}, err
+			}
+			target, _ := pr.BestScore(h.Params)
+			x, err := poise.MeasureFeatures(h.Cfg, k)
+			if err != nil {
+				return poise.Sample{}, err
+			}
+			return poise.Sample{
+				Kernel: k.Name, X: x,
+				RawN: target.N, RawP: target.P, MaxN: pr.MaxN,
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
 	res.ErrN, res.ErrP = poise.EvaluateOffline(w, holdout)
 	return res, nil
@@ -77,28 +84,27 @@ type PbestRow struct {
 func (h *Harness) TableIII() ([]PbestRow, error) {
 	names := append(append([]string{}, workloads.TrainingNames()...), workloads.EvalNames()...)
 	names = append(names, workloads.ComputeNames()...)
-	var rows []PbestRow
-	for _, name := range names {
-		w := h.Cat.Must(name)
-		base, err := h.RunWorkload(w, sim.GTO{})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: pbest baseline %s: %w", name, err)
-		}
-		big := h.Cfg
-		big.L1.SizeBytes *= 64
-		bigRes, err := sim.RunWorkload(big, w, sim.GTO{}, sim.RunOptions{})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: pbest 64x %s: %w", name, err)
-		}
-		pb := ratio(bigRes.IPC, base.IPC)
-		rows = append(rows, PbestRow{
-			Workload:        name,
-			Kernels:         len(w.Kernels),
-			Pbest:           pb,
-			MemorySensitive: pb > 1.4,
+	return runner.MapSlice(h.ctx(), h.Opt.Workers, names,
+		func(_ context.Context, _ int, name string) (PbestRow, error) {
+			w := h.Cat.Must(name)
+			base, err := h.RunWorkload(w, sim.GTO{})
+			if err != nil {
+				return PbestRow{}, fmt.Errorf("experiments: pbest baseline %s: %w", name, err)
+			}
+			big := h.Cfg
+			big.L1.SizeBytes *= 64
+			bigRes, err := sim.RunWorkload(big, w, sim.GTO{}, sim.RunOptions{})
+			if err != nil {
+				return PbestRow{}, fmt.Errorf("experiments: pbest 64x %s: %w", name, err)
+			}
+			pb := ratio(bigRes.IPC, base.IPC)
+			return PbestRow{
+				Workload:        name,
+				Kernels:         len(w.Kernels),
+				Pbest:           pb,
+				MemorySensitive: pb > 1.4,
+			}, nil
 		})
-	}
-	return rows, nil
 }
 
 // HardwareCost reproduces the §VII-I storage accounting: the per-SM

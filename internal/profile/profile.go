@@ -6,6 +6,7 @@
 package profile
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"sort"
 
 	"poise/internal/config"
+	"poise/internal/runner"
 	"poise/internal/sim"
 	"poise/internal/trace"
 )
@@ -82,6 +84,12 @@ type SweepOptions struct {
 	StepN, StepP int
 	// MaxCycles guards each run.
 	MaxCycles int64
+	// Workers bounds the concurrent point simulations (<= 0 means
+	// GOMAXPROCS, 1 forces sequential). Every grid point runs on its
+	// own GPU, so the profile is bit-identical at any worker count.
+	Workers int
+	// Ctx cancels an in-flight sweep (nil = context.Background()).
+	Ctx context.Context
 }
 
 func (o SweepOptions) withDefaults() SweepOptions {
@@ -96,19 +104,22 @@ func (o SweepOptions) withDefaults() SweepOptions {
 
 // Sweep profiles kernel k across the {N, p} space on the given
 // configuration. The kernel runs once per grid point; speedups are
-// relative to the (max, max) GTO tuple.
+// relative to the (max, max) GTO tuple. Points run concurrently on
+// opts.Workers goroutines, each on its own GPU: a kernel run is a pure
+// function of (config, kernel, tuple), so the profile is bit-identical
+// at any worker count.
 func Sweep(cfg config.Config, k *trace.Kernel, opts SweepOptions) (*Profile, error) {
 	opts = opts.withDefaults()
-	g, err := sim.New(cfg)
-	if err != nil {
-		return nil, err
-	}
 	maxN := cfg.WarpsPerSched
 	if k.MaxWarpsPerSched > 0 && k.MaxWarpsPerSched < maxN {
 		maxN = k.MaxWarpsPerSched
 	}
 
 	runAt := func(n, p int) (Point, sim.KernelResult, error) {
+		g, err := sim.New(cfg)
+		if err != nil {
+			return Point{}, sim.KernelResult{}, err
+		}
 		res, err := g.Run(k, sim.Fixed{N: n, P: p}, sim.RunOptions{MaxCycles: opts.MaxCycles})
 		if err != nil {
 			return Point{}, res, err
@@ -132,44 +143,48 @@ func Sweep(cfg config.Config, k *trace.Kernel, opts SweepOptions) (*Profile, err
 		BaselineInstr:  baseRes.Instructions,
 	}
 
+	// Enumerate the grid first (dedup'd, deterministic order), then fan
+	// the runs out.
+	var grid [][2]int
 	seen := map[[2]int]bool{}
-	add := func(n, p int) error {
+	add := func(n, p int) {
 		if n < 1 || p < 1 || p > n || n > maxN || seen[[2]int{n, p}] {
-			return nil
+			return
 		}
 		seen[[2]int{n, p}] = true
-		if n == maxN && p == maxN {
-			pr.Points = append(pr.Points, base)
-			return nil
-		}
-		pt, _, err := runAt(n, p)
-		if err != nil {
-			return fmt.Errorf("profile: point (%d,%d): %w", n, p, err)
-		}
-		if base.IPC > 0 {
-			pt.Speedup = pt.IPC / base.IPC
-		}
-		pr.Points = append(pr.Points, pt)
-		return nil
+		grid = append(grid, [2]int{n, p})
 	}
-
 	for n := 1; n <= maxN; n += opts.StepN {
 		for p := 1; p <= n; p += opts.StepP {
-			if err := add(n, p); err != nil {
-				return nil, err
-			}
+			add(n, p)
 		}
 		// Always close the diagonal and the column top.
-		if err := add(n, n); err != nil {
-			return nil, err
-		}
+		add(n, n)
 	}
 	// Ensure the corner rows/columns the paper's figures reference.
 	for _, pt := range [][2]int{{maxN, maxN}, {maxN, 1}, {1, 1}} {
-		if err := add(pt[0], pt[1]); err != nil {
-			return nil, err
-		}
+		add(pt[0], pt[1])
 	}
+
+	points, err := runner.MapSlice(opts.Ctx, opts.Workers, grid,
+		func(_ context.Context, _ int, np [2]int) (Point, error) {
+			n, p := np[0], np[1]
+			if n == maxN && p == maxN {
+				return base, nil
+			}
+			pt, _, err := runAt(n, p)
+			if err != nil {
+				return Point{}, fmt.Errorf("profile: point (%d,%d): %w", n, p, err)
+			}
+			if base.IPC > 0 {
+				pt.Speedup = pt.IPC / base.IPC
+			}
+			return pt, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	pr.Points = points
 	sort.Slice(pr.Points, func(i, j int) bool {
 		if pr.Points[i].N != pr.Points[j].N {
 			return pr.Points[i].N < pr.Points[j].N

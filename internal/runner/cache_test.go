@@ -1,0 +1,119 @@
+package runner
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheMemoises(t *testing.T) {
+	var c Cache[string, int]
+	calls := 0
+	get := func() (int, error) { calls++; return 42, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.Get("k", get)
+		if err != nil || v != 42 {
+			t.Fatalf("got %d, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	var c Cache[string, int]
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, err := c.Get("shared", func() (int, error) {
+				computes.Add(1)
+				return 7, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("got %d, %v", v, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under contention, want 1", n)
+	}
+}
+
+func TestCacheForgetsFailures(t *testing.T) {
+	var c Cache[string, int]
+	boom := errors.New("boom")
+	if _, err := c.Get("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed entry was retained")
+	}
+	v, err := c.Get("k", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("retry after failure: got %d, %v", v, err)
+	}
+}
+
+func TestCacheLookup(t *testing.T) {
+	var c Cache[string, int]
+	if _, ok := c.Lookup("absent"); ok {
+		t.Fatal("Lookup on empty cache reported a hit")
+	}
+	if _, err := c.Get("k", func() (int, error) { return 5, nil }); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := c.Lookup("k")
+	if !ok || v != 5 {
+		t.Fatalf("Lookup: got %d, %v", v, ok)
+	}
+}
+
+func TestCacheIndependentKeysDoNotBlock(t *testing.T) {
+	var c Cache[int, int]
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		c.Get(1, func() (int, error) { <-release; return 1, nil })
+		close(done)
+	}()
+	// A different key must compute without waiting for key 1.
+	v, err := c.Get(2, func() (int, error) { return 2, nil })
+	if err != nil || v != 2 {
+		t.Fatalf("independent key blocked: got %d, %v", v, err)
+	}
+	close(release)
+	<-done
+}
+
+func TestOnceMemoisesValueAndError(t *testing.T) {
+	var o Once[int]
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, err := o.Do(func() (int, error) { calls++; return 11, nil })
+		if err != nil || v != 11 {
+			t.Fatalf("got %d, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("Do ran %d times, want 1", calls)
+	}
+
+	var fe Once[int]
+	boom := errors.New("boom")
+	fe.Do(func() (int, error) { return 0, boom })
+	if _, err := fe.Do(func() (int, error) { return 1, nil }); !errors.Is(err, boom) {
+		t.Fatal("Once must memoise errors")
+	}
+}

@@ -255,6 +255,31 @@ func (p Phased) Addr(c Ctx, seq int) uint64 {
 	return p.B.Addr(c, seq-p.SwitchAt)
 }
 
+// Reseed returns a copy of p with its stochastic address stream
+// re-seeded by delta (XOR, so delta 0 is the identity). Deterministic
+// sweeps and streams have no randomness and return unchanged; Phased
+// recurses into both phases. The workload catalogue uses this to
+// derive reproducible workload variants from a run seed without
+// touching the calibrated footprints and locality structure.
+func Reseed(p Pattern, delta uint64) Pattern {
+	if delta == 0 {
+		return p
+	}
+	switch q := p.(type) {
+	case IrregularPrivate:
+		q.Seed ^= delta
+		return q
+	case IrregularShared:
+		q.Seed ^= delta
+		return q
+	case Phased:
+		q.A = Reseed(q.A, delta)
+		q.B = Reseed(q.B, delta)
+		return q
+	}
+	return p
+}
+
 // Footprint implements Pattern.
 func (p Phased) Footprint() int {
 	a, b := p.A.Footprint(), p.B.Footprint()

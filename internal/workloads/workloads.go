@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"poise/internal/runner"
 	"poise/internal/sim"
 	"poise/internal/trace"
 )
@@ -59,10 +60,33 @@ type Catalogue struct {
 
 // NewCatalogue constructs the full suite at the given size.
 func NewCatalogue(size Size) *Catalogue {
+	return NewCatalogueSeeded(size, 0)
+}
+
+// NewCatalogueSeeded constructs the suite with every kernel's
+// stochastic streams re-seeded from seed: the kernel's iteration
+// jitter and the irregular address patterns are XORed with a
+// splitmix-mixed derivation of seed, so different seeds give
+// decorrelated workload variants while the calibrated footprints and
+// locality structure stay intact. A seed of 0 yields the canonical
+// catalogue bit-for-bit.
+func NewCatalogueSeeded(size Size, seed int64) *Catalogue {
 	c := &Catalogue{size: size, all: map[string]*sim.Workload{}}
+	var mixed int64
+	if seed != 0 {
+		mixed = runner.SubSeed(seed, 0)
+	}
 	for _, b := range builders {
 		w := b.build(size)
 		w.MemorySensitive = b.memSensitive
+		if mixed != 0 {
+			for _, k := range w.Kernels {
+				k.Seed ^= mixed
+				for i, p := range k.Patterns {
+					k.Patterns[i] = trace.Reseed(p, uint64(mixed))
+				}
+			}
+		}
 		c.all[w.Name] = w
 	}
 	return c

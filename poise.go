@@ -15,7 +15,10 @@
 //   - SweepSolutionSpace profiles a kernel across the {N, p} space.
 //   - Train runs the offline learning pipeline; TrainedWeights returns
 //     the embedded model.
-//   - NewHarness exposes the per-figure experiment runners.
+//   - NewHarness exposes the per-figure experiment runners. Experiments
+//     fan out across HarnessOptions.Workers goroutines and are
+//     bit-identical at any worker count; HarnessOptions.Seed reseeds
+//     the suite reproducibly.
 //
 // See the examples directory for runnable walkthroughs and cmd/ for the
 // CLI tools.
