@@ -13,6 +13,11 @@
 // GOMAXPROCS); every table is bit-identical at any worker count, and
 // -seed reseeds the whole suite reproducibly. Profiles are cached
 // under -cache; delete the directory to force fresh sweeps.
+//
+// -trace ingests recorded workloads (poisetrace containers or
+// simplified Accel-Sim kernel traces; a file or directory) and
+// appends them to the evaluation set, so profile sweeps and the
+// figure/table experiments run over real traces unchanged.
 package main
 
 import (
@@ -26,6 +31,8 @@ import (
 	"time"
 
 	"poise/internal/experiments"
+	"poise/internal/sim"
+	"poise/internal/traceio"
 	"poise/internal/workloads"
 )
 
@@ -59,6 +66,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 		seed     = flag.Int64("seed", 0, "experiment seed (perturbs workload jitter and random-restart; 0 = canonical)")
 		listExp  = flag.Bool("listexp", false, "list experiments and exit")
+		tracePth = flag.String("trace", "", "ingest trace workloads (a .ptrace/.ptrace.gz/.trace file or a directory) into the evaluation set")
 	)
 	flag.Parse()
 
@@ -69,17 +77,31 @@ func main() {
 		return
 	}
 
+	var extra []*sim.Workload
+	if *tracePth != "" {
+		ws, err := traceio.LoadWorkloads(*tracePth)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "poisebench:", err)
+			os.Exit(1)
+		}
+		extra = ws
+		for _, w := range ws {
+			fmt.Printf("ingested trace workload %s (%d kernels)\n", w.Name, len(w.Kernels))
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	h := experiments.NewHarness(experiments.Options{
-		SMs:         *sms,
-		Size:        parseSize(*size),
-		CacheDir:    *cacheDir,
-		RandomSeeds: *seeds,
-		Workers:     *parallel,
-		Seed:        *seed,
-		Ctx:         ctx,
+		SMs:            *sms,
+		Size:           parseSize(*size),
+		CacheDir:       *cacheDir,
+		RandomSeeds:    *seeds,
+		Workers:        *parallel,
+		Seed:           *seed,
+		Ctx:            ctx,
+		ExtraWorkloads: extra,
 	})
 	fmt.Printf("running on %d workers (seed %d)\n", h.Workers(), *seed)
 

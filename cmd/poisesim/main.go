@@ -16,6 +16,19 @@
 // worker goroutines (0 = GOMAXPROCS); each run simulates on its own
 // GPU, so results are identical at any worker count and print in the
 // order given. -seed reseeds the workload generator reproducibly.
+//
+// Trace ingestion (package traceio):
+//
+//	poisesim -record traces -workload ii        # capture ii to traces/ii.ptrace.gz
+//	poisesim -trace traces/ii.ptrace.gz -workload ii   # replay: identical metrics
+//	poisesim -trace kernel.trace -list          # ingest + characterise
+//
+// -trace loads recorded workloads (poisetrace containers or simplified
+// Accel-Sim kernel traces; a file or a directory of files) into the
+// catalogue, shadowing same-named synthetic workloads so record/replay
+// comparisons are a two-command affair. -list prints each workload's
+// characterised locality signature (In, reuse distance R, per-warp
+// footprint, intra/inter reuse split).
 package main
 
 import (
@@ -24,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -33,6 +47,7 @@ import (
 	"poise/internal/config"
 	"poise/internal/runner"
 	"poise/internal/sim"
+	"poise/internal/traceio"
 	"poise/internal/workloads"
 )
 
@@ -44,16 +59,43 @@ func main() {
 		p        = flag.Int("p", 0, "fixed policy: polluting warps p (0 = N)")
 		sms      = flag.Int("sms", 8, "number of SMs (scaled memory system)")
 		size     = flag.String("size", "small", "workload size: small | medium | large")
-		list     = flag.Bool("list", false, "list workloads and exit")
+		list     = flag.Bool("list", false, "list workloads with their characterised signature and exit")
 		l1x      = flag.Int("l1x", 1, "multiply L1 capacity (Pbest probes use 64)")
 		parallel = flag.Int("parallel", 0, "worker goroutines for multi-workload runs (0 = GOMAXPROCS)")
 		seed     = flag.Int64("seed", 0, "workload seed (perturbs iteration jitter; 0 = canonical)")
+		tracePth = flag.String("trace", "", "load trace workloads (a .ptrace/.ptrace.gz/.trace file or a directory) into the catalogue")
+		record   = flag.String("record", "", "record each selected workload to this directory as <name>.ptrace.gz before running")
 	)
 	flag.Parse()
 
+	workloadSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workload" {
+			workloadSet = true
+		}
+	})
+
 	cat := workloads.NewCatalogueSeeded(parseSize(*size), *seed)
+	if *tracePth != "" {
+		ws, err := traceio.LoadWorkloads(*tracePth)
+		if err != nil {
+			fatal(err)
+		}
+		for _, w := range ws {
+			cat.Put(w)
+		}
+		if !workloadSet && len(ws) > 0 {
+			// Bare -trace runs default to the ingested workloads; an
+			// explicit -workload (even "ii") always wins.
+			names := make([]string, len(ws))
+			for i, w := range ws {
+				names[i] = w.Name
+			}
+			*workload = strings.Join(names, ",")
+		}
+	}
 	if *list {
-		fmt.Println(strings.Join(cat.Names(), "\n"))
+		listSignatures(cat)
 		return
 	}
 	var names []string
@@ -72,6 +114,23 @@ func main() {
 			fatal(err)
 		}
 		ws[i] = w
+	}
+
+	if *record != "" {
+		if err := os.MkdirAll(*record, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, w := range ws {
+			tr, err := traceio.Record(w)
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*record, w.Name+".ptrace.gz")
+			if err := traceio.WriteFile(path, tr); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("recorded %s (%d kernels) -> %s\n", w.Name, len(tr.Kernels), path)
+		}
 	}
 
 	cfg := config.Default().Scale(*sms)
@@ -147,6 +206,30 @@ func main() {
 		fmt.Printf("\n%d workloads on %d workers: %v wall (%v of simulation)\n",
 			len(results), workers,
 			wall.Round(time.Millisecond), serial.Round(time.Millisecond))
+	}
+}
+
+// listSignatures prints every workload with its characterised
+// locality signature: the trace-derived In, per-warp footprint, reuse
+// distance R and intra/inter reuse split (paper Fig. 4 vocabulary).
+func listSignatures(cat *workloads.Catalogue) {
+	fmt.Printf("%-12s %7s %8s %10s %8s %7s %7s\n",
+		"workload", "kernels", "In", "footprint", "R", "intra%", "inter%")
+	for _, name := range cat.Names() {
+		w, err := cat.Get(name)
+		if err != nil {
+			fatal(err)
+		}
+		// A capped recording keeps the listing interactive at -size
+		// large (full streams are only needed for bit-exact replay).
+		tr, err := traceio.RecordWith(w, traceio.RecordOptions{MaxWarpIters: 2048})
+		if err != nil {
+			fatal(fmt.Errorf("characterising %s: %w", name, err))
+		}
+		sig := traceio.Characterise(tr, traceio.CharacteriseOptions{})
+		fmt.Printf("%-12s %7d %8.2f %10.1f %8.1f %7.1f %7.1f\n",
+			name, sig.Kernels, sig.In, sig.FootprintLines, sig.ReuseDist,
+			sig.IntraPct, sig.InterPct)
 	}
 }
 

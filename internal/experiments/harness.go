@@ -63,6 +63,14 @@ type Options struct {
 	// kept for names in the evaluation set). Empty means the full set.
 	// Meant for tests and quick interactive runs.
 	EvalSubset []string
+
+	// ExtraWorkloads registers additional workloads — typically
+	// trace-backed ones from package traceio — in the catalogue. A name
+	// colliding with a synthetic workload shadows it (the record/replay
+	// comparison case); genuinely new names are appended to the
+	// evaluation set, so profile sweeps, tables and figures run over
+	// ingested traces unchanged.
+	ExtraWorkloads []*sim.Workload
 }
 
 func (o Options) withDefaults() Options {
@@ -100,17 +108,33 @@ type Harness struct {
 	profiles runner.Cache[string, *profile.Profile]
 	weights  runner.Once[poise.Weights]
 	dataset  runner.Once[*poise.Dataset]
+
+	// extraKernels maps each ExtraWorkloads kernel name to its
+	// workload's content digest, so only those kernels' profile-cache
+	// keys move when traces are ingested or re-recorded — the synthetic
+	// catalogue's cached sweeps stay warm.
+	extraKernels map[string]string
 }
 
 // NewHarness builds a harness.
 func NewHarness(opt Options) *Harness {
 	opt = opt.withDefaults()
+	cat := workloads.NewCatalogueSeeded(opt.Size, opt.Seed)
+	extraKernels := map[string]string{}
+	for _, w := range opt.ExtraWorkloads {
+		cat.Put(w)
+		d := workloadDigest(w)
+		for _, k := range w.Kernels {
+			extraKernels[k.Name] = d
+		}
+	}
 	return &Harness{
-		Opt:    opt,
-		Cfg:    config.Default().Scale(opt.SMs),
-		Params: config.DefaultPoise(),
-		Cat:    workloads.NewCatalogueSeeded(opt.Size, opt.Seed),
-		store:  profile.Store{Dir: opt.CacheDir},
+		Opt:          opt,
+		Cfg:          config.Default().Scale(opt.SMs),
+		Params:       config.DefaultPoise(),
+		Cat:          cat,
+		store:        profile.Store{Dir: opt.CacheDir},
+		extraKernels: extraKernels,
 	}
 }
 
@@ -164,8 +188,73 @@ func (h *Harness) tag(train bool) string {
 	if h.Opt.Seed != 0 {
 		s += fmt.Sprintf("-seed%d", h.Opt.Seed)
 	}
+	if train {
+		// The training pipeline sweeps Cat.TrainingSet() under this one
+		// tag, so a trace shadowing a training workload must move it;
+		// eval kernels are keyed individually (see profileTag).
+		training := map[string]bool{}
+		for _, n := range workloads.TrainingNames() {
+			training[n] = true
+		}
+		for _, w := range h.Opt.ExtraWorkloads {
+			if training[w.Name] {
+				s += "-x" + workloadDigest(w)
+			}
+		}
+	}
 	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:6])
+}
+
+// profileTag is the per-kernel profile-cache key: the configuration
+// tag, plus — for kernels of ingested (extra) workloads — the
+// workload's content digest. Shadowed or re-recorded traces can never
+// be served stale sweeps, while the synthetic catalogue's cache stays
+// warm whatever traces come and go.
+func (h *Harness) profileTag(kernel string) string {
+	t := h.tag(false)
+	if d, ok := h.extraKernels[kernel]; ok {
+		t += "-" + d
+	}
+	return t
+}
+
+// workloadDigest fingerprints a workload's kernels: structure, per-
+// warp iteration counts, and pattern addresses sampled across warps
+// and iterations. Sampling keeps the digest cheap while still moving
+// whenever a trace is re-recorded (a different seed or source perturbs
+// essentially every address of the stochastic streams).
+func workloadDigest(w *sim.Workload) string {
+	d := sha256.New()
+	fmt.Fprintf(d, "%s/%d", w.Name, len(w.Kernels))
+	for _, k := range w.Kernels {
+		fmt.Fprintf(d, "|%s;%d;%d;%d;%d;%d;%v", k.Name, k.Iters,
+			k.WarpsPerBlock, k.Blocks, k.MaxWarpsPerSched, k.MaxBlocksPerSM, k.IterJitter)
+		for _, ins := range k.Body {
+			fmt.Fprintf(d, ",%d.%d.%d.%v", ins.Kind, ins.Slot, ins.UseDist, ins.DepALU)
+		}
+		for _, it := range k.PerWarpIters {
+			fmt.Fprintf(d, ":%d", it)
+		}
+		total := k.TotalWarps()
+		for _, g := range []int{0, total / 3, total / 2, total - 1} {
+			if g < 0 || g >= total {
+				continue
+			}
+			ctx := trace.Ctx{GlobalWarp: g, Block: g / k.WarpsPerBlock, WarpInBlk: g % k.WarpsPerBlock}
+			iters := k.WarpIters(g)
+			for slot, p := range k.Patterns {
+				for probe := 0; probe < 16; probe++ {
+					seq := probe * iters / 16
+					if seq >= iters {
+						break
+					}
+					fmt.Fprintf(d, "@%d.%d.%d=%x", g, slot, seq, p.Addr(ctx, seq))
+				}
+			}
+		}
+	}
+	return hex.EncodeToString(d.Sum(nil)[:8])
 }
 
 // KernelProfile sweeps (or loads) the profile of one kernel at the
@@ -173,7 +262,7 @@ func (h *Harness) tag(train bool) string {
 // sweep.
 func (h *Harness) KernelProfile(k *trace.Kernel) (*profile.Profile, error) {
 	return h.profiles.Get(k.Name, func() (*profile.Profile, error) {
-		return h.store.LoadOrSweep(h.tag(false), h.Cfg, k, h.sweepOptions(false))
+		return h.store.LoadOrSweep(h.profileTag(k.Name), h.Cfg, k, h.sweepOptions(false))
 	})
 }
 
@@ -256,15 +345,33 @@ func (h *Harness) RunWorkload(w *sim.Workload, p sim.Policy) (sim.WorkloadResult
 	return sim.RunWorkload(h.Cfg, w, p, sim.RunOptions{})
 }
 
-// EvalWorkloads returns the evaluation set (paper order), or the
-// configured subset of it.
+// EvalWorkloads returns the evaluation set (paper order) followed by
+// any extra (trace-backed) workloads whose names are not already in
+// it, or the configured subset.
 func (h *Harness) EvalWorkloads() []*sim.Workload {
-	if len(h.Opt.EvalSubset) == 0 {
-		return h.Cat.EvalSet()
+	if len(h.Opt.EvalSubset) > 0 {
+		out := make([]*sim.Workload, 0, len(h.Opt.EvalSubset))
+		for _, name := range h.Opt.EvalSubset {
+			out = append(out, h.Cat.Must(name))
+		}
+		return out
 	}
-	out := make([]*sim.Workload, 0, len(h.Opt.EvalSubset))
-	for _, name := range h.Opt.EvalSubset {
-		out = append(out, h.Cat.Must(name))
+	out := h.Cat.EvalSet()
+	// Only genuinely new names join the evaluation set; an extra that
+	// shadows any catalogue workload — training and compute-intensive
+	// ones included — replaces it in place without changing set
+	// membership.
+	known := map[string]bool{}
+	for _, names := range [][]string{workloads.TrainingNames(), workloads.EvalNames(), workloads.ComputeNames()} {
+		for _, n := range names {
+			known[n] = true
+		}
+	}
+	for _, w := range h.Opt.ExtraWorkloads {
+		if !known[w.Name] {
+			known[w.Name] = true
+			out = append(out, h.Cat.Must(w.Name))
+		}
 	}
 	return out
 }

@@ -84,6 +84,17 @@ type PbestRow struct {
 func (h *Harness) TableIII() ([]PbestRow, error) {
 	names := append(append([]string{}, workloads.TrainingNames()...), workloads.EvalNames()...)
 	names = append(names, workloads.ComputeNames()...)
+	// Ingested trace workloads classify alongside the catalogue.
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, w := range h.Opt.ExtraWorkloads {
+		if !seen[w.Name] {
+			seen[w.Name] = true
+			names = append(names, w.Name)
+		}
+	}
 	return runner.MapSlice(h.ctx(), h.Opt.Workers, names,
 		func(_ context.Context, _ int, name string) (PbestRow, error) {
 			w := h.Cat.Must(name)

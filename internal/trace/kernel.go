@@ -20,6 +20,12 @@ type Kernel struct {
 	// irregular work distributions (graph workloads).
 	IterJitter float64
 
+	// PerWarpIters, when non-empty, pins each global warp's iteration
+	// count exactly (len must equal TotalWarps()), overriding
+	// Iters/IterJitter. Trace replay uses it to reproduce recorded
+	// per-warp work bit-for-bit.
+	PerWarpIters []int
+
 	WarpsPerBlock int
 	Blocks        int
 
@@ -48,6 +54,22 @@ func (k *Kernel) Validate() error {
 	if k.IterJitter < 0 || k.IterJitter >= 1 {
 		return fmt.Errorf("trace: IterJitter %v outside [0,1)", k.IterJitter)
 	}
+	if len(k.PerWarpIters) > 0 {
+		if len(k.PerWarpIters) != k.TotalWarps() {
+			return fmt.Errorf("trace: PerWarpIters has %d entries for %d warps",
+				len(k.PerWarpIters), k.TotalWarps())
+		}
+		for w, it := range k.PerWarpIters {
+			if it <= 0 {
+				return fmt.Errorf("trace: PerWarpIters[%d] = %d, must be positive", w, it)
+			}
+		}
+	}
+	for i, p := range k.Patterns {
+		if p == nil {
+			return fmt.Errorf("trace: pattern slot %d is nil", i)
+		}
+	}
 	for i, ins := range k.Body {
 		switch ins.Kind {
 		case OpALU:
@@ -67,8 +89,14 @@ func (k *Kernel) Validate() error {
 }
 
 // WarpIters returns the iteration count for a given global warp,
-// applying the deterministic jitter.
+// applying the deterministic jitter (or the PerWarpIters override).
 func (k *Kernel) WarpIters(globalWarp int) int {
+	if len(k.PerWarpIters) > 0 {
+		if globalWarp >= 0 && globalWarp < len(k.PerWarpIters) {
+			return k.PerWarpIters[globalWarp]
+		}
+		return 1
+	}
 	if k.IterJitter == 0 {
 		return k.Iters
 	}

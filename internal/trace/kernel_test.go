@@ -33,18 +33,49 @@ func TestKernelValidateRejects(t *testing.T) {
 		{"empty name", func(k *Kernel) { k.Name = "" }},
 		{"empty body", func(k *Kernel) { k.Body = nil }},
 		{"zero iters", func(k *Kernel) { k.Iters = 0 }},
+		{"negative iters", func(k *Kernel) { k.Iters = -4 }},
 		{"zero warps", func(k *Kernel) { k.WarpsPerBlock = 0 }},
 		{"zero blocks", func(k *Kernel) { k.Blocks = 0 }},
+		{"negative jitter", func(k *Kernel) { k.IterJitter = -0.1 }},
 		{"jitter >= 1", func(k *Kernel) { k.IterJitter = 1 }},
-		{"bad slot", func(k *Kernel) { k.Body = []Instr{{Kind: OpLoad, Slot: 5}} }},
+		{"nil pattern", func(k *Kernel) { k.Patterns = []Pattern{nil} }},
+		{"load slot out of range", func(k *Kernel) { k.Body = []Instr{{Kind: OpLoad, Slot: 5}} }},
+		{"load slot negative", func(k *Kernel) { k.Body = []Instr{{Kind: OpLoad, Slot: -1}} }},
+		{"store slot out of range", func(k *Kernel) { k.Body = []Instr{{Kind: OpStore, Slot: 5}} }},
+		{"store slot negative", func(k *Kernel) { k.Body = []Instr{{Kind: OpStore, Slot: -2}} }},
 		{"negative usedist", func(k *Kernel) { k.Body = []Instr{{Kind: OpLoad, Slot: 0, UseDist: -1}} }},
 		{"unknown op", func(k *Kernel) { k.Body = []Instr{{Kind: OpKind(9)}} }},
+		{"per-warp iters wrong length", func(k *Kernel) { k.PerWarpIters = []int{3, 3} }},
+		{"per-warp iters zero entry", func(k *Kernel) {
+			k.PerWarpIters = make([]int, k.TotalWarps())
+			for i := range k.PerWarpIters {
+				k.PerWarpIters[i] = 2
+			}
+			k.PerWarpIters[3] = 0
+		}},
 	}
 	for _, c := range cases {
 		k := validKernel()
 		c.mutate(k)
 		if err := k.Validate(); err == nil {
 			t.Fatalf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestPerWarpItersOverride(t *testing.T) {
+	k := validKernel()
+	k.IterJitter = 0.5 // must be ignored when PerWarpIters is set
+	k.PerWarpIters = make([]int, k.TotalWarps())
+	for i := range k.PerWarpIters {
+		k.PerWarpIters[i] = i + 1
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range k.PerWarpIters {
+		if got := k.WarpIters(i); got != i+1 {
+			t.Fatalf("WarpIters(%d) = %d, want %d", i, got, i+1)
 		}
 	}
 }

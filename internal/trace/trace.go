@@ -62,7 +62,12 @@ type Ctx struct {
 
 // Pattern generates the address stream for one load/store slot.
 // seq is the per-warp sequence number of the access (its iteration).
-// Implementations must be deterministic pure functions.
+// Implementations must be deterministic pure functions, and must
+// derive addresses only from seq and the launch-geometry fields of Ctx
+// (GlobalWarp, Block, WarpInBlk) — never the placement fields (SM,
+// Sched, Slot), which vary with the scheduling policy. This is what
+// makes a kernel's address streams policy-independent, and what lets
+// package traceio record a workload once and replay it exactly.
 type Pattern interface {
 	// Addr returns a LineBytes-aligned byte address.
 	Addr(c Ctx, seq int) uint64
@@ -255,12 +260,22 @@ func (p Phased) Addr(c Ctx, seq int) uint64 {
 	return p.B.Addr(c, seq-p.SwitchAt)
 }
 
+// Reseeder is implemented by Pattern types defined outside this
+// package that want to participate in Reseed (for example a trace
+// replayer, whose recorded streams are fixed and reseed to itself).
+type Reseeder interface {
+	// Reseed returns the pattern with its stochastic streams perturbed
+	// by delta; a pattern with no randomness returns itself.
+	Reseed(delta uint64) Pattern
+}
+
 // Reseed returns a copy of p with its stochastic address stream
 // re-seeded by delta (XOR, so delta 0 is the identity). Deterministic
 // sweeps and streams have no randomness and return unchanged; Phased
-// recurses into both phases. The workload catalogue uses this to
-// derive reproducible workload variants from a run seed without
-// touching the calibrated footprints and locality structure.
+// recurses into both phases, and patterns implementing Reseeder decide
+// for themselves. The workload catalogue uses this to derive
+// reproducible workload variants from a run seed without touching the
+// calibrated footprints and locality structure.
 func Reseed(p Pattern, delta uint64) Pattern {
 	if delta == 0 {
 		return p
@@ -276,6 +291,9 @@ func Reseed(p Pattern, delta uint64) Pattern {
 		q.A = Reseed(q.A, delta)
 		q.B = Reseed(q.B, delta)
 		return q
+	}
+	if q, ok := p.(Reseeder); ok {
+		return q.Reseed(delta)
 	}
 	return p
 }

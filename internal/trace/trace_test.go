@@ -180,3 +180,35 @@ func TestRegionsDisjoint(t *testing.T) {
 		}
 	}
 }
+
+// reseedSpy is an out-of-package-style pattern exercising the Reseeder
+// extension point of Reseed.
+type reseedSpy struct {
+	Stream
+	delta uint64
+}
+
+func (r reseedSpy) Reseed(delta uint64) Pattern {
+	r.delta ^= delta
+	return r
+}
+
+func TestReseedHonoursReseederInterface(t *testing.T) {
+	p := Reseed(reseedSpy{Stream: Stream{Region: 9}}, 0xabc)
+	spy, ok := p.(reseedSpy)
+	if !ok {
+		t.Fatalf("Reseed returned %T, want reseedSpy", p)
+	}
+	if spy.delta != 0xabc {
+		t.Fatalf("custom Reseed not invoked: delta = %#x", spy.delta)
+	}
+	// Delta 0 is the identity and must not call the hook.
+	if q := Reseed(reseedSpy{}, 0); q.(reseedSpy).delta != 0 {
+		t.Fatal("Reseed(_, 0) must be the identity")
+	}
+	// Phased recurses into Reseeder phases too.
+	ph := Reseed(Phased{SwitchAt: 1, A: reseedSpy{}, B: Stream{Region: 2}}, 5).(Phased)
+	if ph.A.(reseedSpy).delta != 5 {
+		t.Fatal("Reseed must recurse through Phased into Reseeder phases")
+	}
+}

@@ -1,0 +1,343 @@
+package traceio
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"poise/internal/trace"
+)
+
+// The "poisetrace" container format, version 1:
+//
+//	magic   "POISETRACE\n"                      (11 bytes)
+//	uvarint version                             (currently 1)
+//	uvarint headerLen, headerLen bytes of JSON  (launch geometry + body)
+//	streams for each kernel (header order),
+//	        for each slot 0..Slots-1,
+//	        for each warp 0..TotalWarps-1:
+//	          uvarint count
+//	          count × zigzag-varint deltas of cache-line indices
+//	          (address/LineBytes; first delta is relative to 0)
+//	trailer "POISEEND"                          (8 bytes, then EOF)
+//
+// Per-warp streams are delta-encoded at line granularity, so sweeps
+// and streams compress to a byte or two per access and the whole file
+// gzips well; pass WriteOptions.Gzip (or a .gz path to WriteFile) to
+// compress on the way out. Read transparently detects gzip input.
+const (
+	formatMagic   = "POISETRACE\n"
+	formatTrailer = "POISEEND"
+	formatVersion = 1
+
+	// maxHeaderLen bounds the JSON header a reader will allocate for, so
+	// a corrupt length prefix cannot OOM the process.
+	maxHeaderLen = 16 << 20
+	// maxStreamLen bounds one per-warp stream's element count.
+	maxStreamLen = 1 << 28
+	// maxLineIndex keeps line*LineBytes inside uint64 (the synthetic
+	// pattern regions sit just below 2^62, i.e. line indices near 2^55).
+	// Validate enforces the same bound on addresses, so Write never
+	// produces a container Read refuses.
+	maxLineIndex = int64(1) << 56
+
+	// maxTotalWarps / maxSlots bound the launch geometry a trace may
+	// declare, so a corrupt or hostile header cannot drive the
+	// pre-stream allocations (or TotalWarps overflow) before the
+	// per-stream limits kick in. 4M warps is ~64x the largest real
+	// GPU launch the simulator would ever see.
+	maxTotalWarps = 1 << 22
+	maxSlots      = 1 << 16
+)
+
+// header is the JSON-encoded metadata block of a trace file. It
+// mirrors Trace minus the address streams.
+type header struct {
+	Workload        string
+	MemorySensitive bool `json:",omitempty"`
+	Kernels         []kernelHeader
+}
+
+type kernelHeader struct {
+	Name             string
+	Body             []instrSpec
+	Slots            int
+	WarpsPerBlock    int
+	Blocks           int
+	MaxWarpsPerSched int `json:",omitempty"`
+	MaxBlocksPerSM   int `json:",omitempty"`
+	WarpIters        []int
+}
+
+// instrSpec is the serialised form of one trace.Instr. Kind is a
+// string so files stay self-describing and stable across refactors of
+// the OpKind enum.
+type instrSpec struct {
+	Kind    string
+	Slot    int  `json:",omitempty"`
+	UseDist int  `json:",omitempty"`
+	DepALU  bool `json:",omitempty"`
+}
+
+func toSpec(ins trace.Instr) instrSpec {
+	s := instrSpec{Slot: ins.Slot, UseDist: ins.UseDist, DepALU: ins.DepALU}
+	switch ins.Kind {
+	case trace.OpALU:
+		s.Kind = "alu"
+	case trace.OpLoad:
+		s.Kind = "load"
+	case trace.OpStore:
+		s.Kind = "store"
+	default:
+		s.Kind = fmt.Sprintf("op%d", ins.Kind)
+	}
+	return s
+}
+
+func (s instrSpec) instr() (trace.Instr, error) {
+	ins := trace.Instr{Slot: s.Slot, UseDist: s.UseDist, DepALU: s.DepALU}
+	switch s.Kind {
+	case "alu":
+		ins.Kind = trace.OpALU
+	case "load":
+		ins.Kind = trace.OpLoad
+	case "store":
+		ins.Kind = trace.OpStore
+	default:
+		return ins, fmt.Errorf("unknown instruction kind %q", s.Kind)
+	}
+	return ins, nil
+}
+
+// WriteOptions configures Write.
+type WriteOptions struct {
+	// Gzip compresses the container.
+	Gzip bool
+}
+
+// Write serialises t to w in the poisetrace v1 format.
+func Write(w io.Writer, t *Trace, opts WriteOptions) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	out := w
+	var gz *gzip.Writer
+	if opts.Gzip {
+		gz = gzip.NewWriter(w)
+		out = gz
+	}
+	bw := bufio.NewWriter(out)
+
+	hdr := header{Workload: t.Name, MemorySensitive: t.MemorySensitive}
+	for _, kt := range t.Kernels {
+		kh := kernelHeader{
+			Name:             kt.Name,
+			Slots:            kt.Slots,
+			WarpsPerBlock:    kt.WarpsPerBlock,
+			Blocks:           kt.Blocks,
+			MaxWarpsPerSched: kt.MaxWarpsPerSched,
+			MaxBlocksPerSM:   kt.MaxBlocksPerSM,
+			WarpIters:        kt.WarpIters,
+		}
+		for _, ins := range kt.Body {
+			kh.Body = append(kh.Body, toSpec(ins))
+		}
+		hdr.Kernels = append(hdr.Kernels, kh)
+	}
+	hdrJSON, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("traceio: encoding header: %w", err)
+	}
+
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	if _, err := bw.WriteString(formatMagic); err != nil {
+		return err
+	}
+	if err := putUvarint(formatVersion); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(hdrJSON))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(hdrJSON); err != nil {
+		return err
+	}
+	for _, kt := range t.Kernels {
+		for _, slot := range kt.Streams {
+			for _, stream := range slot {
+				if err := putUvarint(uint64(len(stream))); err != nil {
+					return err
+				}
+				prev := int64(0)
+				for _, addr := range stream {
+					line := int64(addr / trace.LineBytes)
+					delta := line - prev
+					prev = line
+					n := binary.PutVarint(scratch[:], delta)
+					if _, err := bw.Write(scratch[:n]); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	if _, err := bw.WriteString(formatTrailer); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if gz != nil {
+		return gz.Close()
+	}
+	return nil
+}
+
+// Read parses a poisetrace container from r, transparently unwrapping
+// gzip. It is strict: malformed input of any kind — truncation, a bad
+// magic or version, corrupt varints, stream/geometry mismatches —
+// returns an error and never panics.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("traceio: gzip: %w", err)
+		}
+		defer gz.Close()
+		br = bufio.NewReader(gz)
+	}
+
+	magic := make([]byte, len(formatMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("traceio: reading magic: %w", badEOF(err))
+	}
+	if string(magic) != formatMagic {
+		return nil, fmt.Errorf("traceio: bad magic %q: not a poisetrace file", printable(magic))
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("traceio: reading version: %w", badEOF(err))
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("traceio: unsupported format version %d (this build reads %d)",
+			version, formatVersion)
+	}
+	hdrLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("traceio: reading header length: %w", badEOF(err))
+	}
+	if hdrLen > maxHeaderLen {
+		return nil, fmt.Errorf("traceio: header length %d exceeds the %d-byte limit", hdrLen, maxHeaderLen)
+	}
+	hdrJSON := make([]byte, hdrLen)
+	if _, err := io.ReadFull(br, hdrJSON); err != nil {
+		return nil, fmt.Errorf("traceio: truncated header (%d bytes expected): %w", hdrLen, badEOF(err))
+	}
+	dec := json.NewDecoder(bytes.NewReader(hdrJSON))
+	dec.DisallowUnknownFields()
+	var hdr header
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("traceio: decoding header: %w", err)
+	}
+
+	t := &Trace{Name: hdr.Workload, MemorySensitive: hdr.MemorySensitive}
+	for ki, kh := range hdr.Kernels {
+		kt := &KernelTrace{
+			Name:             kh.Name,
+			Slots:            kh.Slots,
+			WarpsPerBlock:    kh.WarpsPerBlock,
+			Blocks:           kh.Blocks,
+			MaxWarpsPerSched: kh.MaxWarpsPerSched,
+			MaxBlocksPerSM:   kh.MaxBlocksPerSM,
+			WarpIters:        kh.WarpIters,
+		}
+		for bi, spec := range kh.Body {
+			ins, err := spec.instr()
+			if err != nil {
+				return nil, fmt.Errorf("traceio: kernel %d body[%d]: %w", ki, bi, err)
+			}
+			kt.Body = append(kt.Body, ins)
+		}
+		if err := kt.validateGeometry(); err != nil {
+			return nil, fmt.Errorf("traceio: kernel %d (%s): %w", ki, kh.Name, err)
+		}
+		total := kt.TotalWarps()
+		kt.Streams = make([][][]uint64, kt.Slots)
+		for s := range kt.Streams {
+			kt.Streams[s] = make([][]uint64, total)
+			for g := 0; g < total; g++ {
+				count, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("traceio: kernel %d slot %d warp %d: reading stream length: %w",
+						ki, s, g, badEOF(err))
+				}
+				if count > maxStreamLen {
+					return nil, fmt.Errorf("traceio: kernel %d slot %d warp %d: stream length %d exceeds limit",
+						ki, s, g, count)
+				}
+				stream := make([]uint64, count)
+				prev := int64(0)
+				for j := range stream {
+					delta, err := binary.ReadVarint(br)
+					if err != nil {
+						return nil, fmt.Errorf("traceio: kernel %d slot %d warp %d access %d: %w",
+							ki, s, g, j, badEOF(err))
+					}
+					prev += delta
+					if prev < 0 || prev > maxLineIndex {
+						return nil, fmt.Errorf("traceio: kernel %d slot %d warp %d access %d: line index %d out of range",
+							ki, s, g, j, prev)
+					}
+					stream[j] = uint64(prev) * trace.LineBytes
+				}
+				kt.Streams[s][g] = stream
+			}
+		}
+		t.Kernels = append(t.Kernels, kt)
+	}
+
+	trailer := make([]byte, len(formatTrailer))
+	if _, err := io.ReadFull(br, trailer); err != nil {
+		return nil, fmt.Errorf("traceio: reading trailer: %w", badEOF(err))
+	}
+	if string(trailer) != formatTrailer {
+		return nil, fmt.Errorf("traceio: bad trailer %q: stream corrupt or truncated", printable(trailer))
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, errors.New("traceio: trailing garbage after trailer")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// badEOF converts the io.EOF that varint/ReadFull readers return on a
+// clean cut into io.ErrUnexpectedEOF: mid-container EOF is always
+// truncation from the caller's point of view.
+func badEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// printable clips b for error messages.
+func printable(b []byte) string {
+	const max = 16
+	if len(b) > max {
+		b = b[:max]
+	}
+	return string(b)
+}

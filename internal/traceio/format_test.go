@@ -1,0 +1,226 @@
+package traceio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func encode(t *testing.T, tr *Trace, gz bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, WriteOptions{Gzip: gz}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := mustRecord(t, miniWorkload())
+	for _, gz := range []bool{false, true} {
+		data := encode(t, tr, gz)
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("gzip=%v: %v", gz, err)
+		}
+		if !reflect.DeepEqual(got, tr) {
+			t.Fatalf("gzip=%v: decoded trace differs from recorded", gz)
+		}
+	}
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	tr := mustRecord(t, miniWorkload())
+	dir := t.TempDir()
+	for _, name := range []string{"mini.ptrace", "mini.ptrace.gz"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, tr); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, tr) {
+			t.Fatalf("%s: decoded trace differs", name)
+		}
+	}
+	// The gzipped container must actually be gzipped (and smaller).
+	plain, _ := os.ReadFile(filepath.Join(dir, "mini.ptrace"))
+	zipped, _ := os.ReadFile(filepath.Join(dir, "mini.ptrace.gz"))
+	if len(zipped) == 0 || zipped[0] != 0x1f || zipped[1] != 0x8b {
+		t.Fatal("WriteFile(.gz) did not gzip")
+	}
+	if len(zipped) >= len(plain) {
+		t.Fatalf("gzip did not shrink the container: %d >= %d", len(zipped), len(plain))
+	}
+}
+
+// TestCorruptInputs feeds the strict parser a catalogue of malformed
+// containers; every one must return an error and none may panic.
+func TestCorruptInputs(t *testing.T) {
+	good := encode(t, mustRecord(t, miniWorkload()), false)
+	hdrStart := len(formatMagic) + 2 // version varint + header-length varint ≥ 1 byte each
+
+	cases := []struct {
+		name    string
+		data    []byte
+		wantSub string
+	}{
+		{"empty", nil, "magic"},
+		{"truncated magic", good[:4], "magic"},
+		{"bad magic", []byte("NOTATRACEFILE..."), "not a poisetrace"},
+		{"bad version", append([]byte(formatMagic), 0x7f), "unsupported format version"},
+		{"missing header length", good[:len(formatMagic)+1], ""},
+		{"truncated header", good[:hdrStart+5], "header"},
+		{"corrupt header JSON", func() []byte {
+			d := append([]byte(nil), good...)
+			d[hdrStart+1] ^= 0xff
+			return d
+		}(), "header"},
+		{"truncated stream", good[:len(good)-40], ""},
+		{"missing trailer", good[:len(good)-len(formatTrailer)], "trailer"},
+		{"corrupt trailer", func() []byte {
+			d := append([]byte(nil), good...)
+			d[len(d)-1] ^= 0xff
+			return d
+		}(), "trailer"},
+		{"trailing garbage", append(append([]byte(nil), good...), 0xaa), "trailing garbage"},
+		{"gzip with garbage body", []byte{0x1f, 0x8b, 0xff, 0x00, 0x01}, "gzip"},
+	}
+	for _, c := range cases {
+		_, err := Read(bytes.NewReader(c.data))
+		if err == nil {
+			t.Fatalf("%s: expected an error", c.name)
+		}
+		if c.wantSub != "" && !strings.Contains(err.Error(), c.wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+// TestHostileHeaderGeometry hand-crafts containers whose JSON headers
+// declare absurd launch geometry; the reader must reject them before
+// any allocation or integer overflow (a regression for a crafted
+// 150-byte file that once panicked in make()).
+func TestHostileHeaderGeometry(t *testing.T) {
+	craft := func(hdrJSON string) []byte {
+		var buf bytes.Buffer
+		buf.WriteString(formatMagic)
+		var scratch [16]byte
+		buf.Write(scratch[:binary.PutUvarint(scratch[:], formatVersion)])
+		buf.Write(scratch[:binary.PutUvarint(scratch[:], uint64(len(hdrJSON)))])
+		buf.WriteString(hdrJSON)
+		return buf.Bytes()
+	}
+	kernel := func(geom string) string {
+		return `{"Workload":"w","Kernels":[{"Name":"k","Body":[{"Kind":"load"}],"Slots":1,` +
+			geom + `,"WarpIters":[]}]}`
+	}
+	cases := []struct {
+		name string
+		hdr  string
+		want string
+	}{
+		{"totalwarps int overflow", kernel(`"WarpsPerBlock":3037000500,"Blocks":3037000500`), "warp limit"},
+		{"huge allocation", kernel(`"WarpsPerBlock":1000000000,"Blocks":1000000000`), "warp limit"},
+		{"huge slot count", `{"Workload":"w","Kernels":[{"Name":"k","Body":[{"Kind":"alu"}],"Slots":2000000000,"WarpsPerBlock":1,"Blocks":1,"WarpIters":[1]}]}`, "slots"},
+	}
+	for _, c := range cases {
+		_, err := Read(bytes.NewReader(craft(c.hdr)))
+		if err == nil {
+			t.Fatalf("%s: expected an error", c.name)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestValidateRejectsOverflowAddresses keeps Write and Read agreeing:
+// an address past the format's line-index limit must fail validation
+// (and hence Write), not produce a container Read then refuses.
+func TestValidateRejectsOverflowAddresses(t *testing.T) {
+	tr := mustRecord(t, miniWorkload())
+	tr.Kernels[0].Streams[0][0][0] = 0xffffffffffffff80 // aligned, but beyond maxLineIndex
+	if err := tr.Validate(); err == nil || !strings.Contains(err.Error(), "line-index limit") {
+		t.Fatalf("Validate must reject overflow addresses, got %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, WriteOptions{}); err == nil {
+		t.Fatal("Write must refuse a trace Read could not load back")
+	}
+}
+
+// TestHeaderGeometryMismatch corrupts semantic invariants that survive
+// varint decoding and must be caught by validation.
+func TestHeaderGeometryMismatch(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(*Trace)
+	}{
+		{"warpiters too short", func(tr *Trace) { tr.Kernels[0].WarpIters = tr.Kernels[0].WarpIters[:1] }},
+		{"zero iter count", func(tr *Trace) { tr.Kernels[0].WarpIters[2] = 0 }},
+		{"slot out of range", func(tr *Trace) { tr.Kernels[0].Body[0].Slot = 99 }},
+		{"negative usedist", func(tr *Trace) { tr.Kernels[0].Body[0].UseDist = -2 }},
+		{"missing stream slot", func(tr *Trace) {
+			tr.Kernels[0].Streams = tr.Kernels[0].Streams[:2]
+		}},
+		{"empty used stream", func(tr *Trace) { tr.Kernels[0].Streams[0][1] = nil }},
+		{"unaligned address", func(tr *Trace) { tr.Kernels[0].Streams[0][0][0] += 4 }},
+		{"no kernels", func(tr *Trace) { tr.Kernels = nil }},
+		{"unnamed workload", func(tr *Trace) { tr.Name = "" }},
+		{"negative occupancy cap", func(tr *Trace) { tr.Kernels[0].MaxBlocksPerSM = -1 }},
+	}
+	for _, m := range mutations {
+		tr := mustRecord(t, miniWorkload())
+		m.mutate(tr)
+		if err := tr.Validate(); err == nil {
+			t.Fatalf("%s: expected validation error", m.name)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr, WriteOptions{}); err == nil {
+			t.Fatalf("%s: Write must refuse an invalid trace", m.name)
+		}
+	}
+}
+
+// FuzzRead is a fuzz-style stress of the parser: whatever the bytes,
+// Read must return (possibly an error) without panicking. `go test`
+// runs the seed corpus; `go test -fuzz=FuzzRead` explores further.
+func FuzzRead(f *testing.F) {
+	tr, err := Record(miniWorkload())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var plain, zipped bytes.Buffer
+	if err := Write(&plain, tr, WriteOptions{}); err != nil {
+		f.Fatal(err)
+	}
+	if err := Write(&zipped, tr, WriteOptions{Gzip: true}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain.Bytes())
+	f.Add(zipped.Bytes())
+	f.Add([]byte(formatMagic))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), plain.Bytes()...)
+	for i := len(formatMagic); i < len(corrupt); i += 7 {
+		corrupt[i] ^= 0x55
+	}
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err == nil {
+			// Whatever parses must satisfy the validator (Read promises
+			// only valid traces escape).
+			if verr := tr.Validate(); verr != nil {
+				t.Fatalf("Read returned an invalid trace: %v", verr)
+			}
+		}
+	})
+}

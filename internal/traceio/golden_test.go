@@ -1,0 +1,43 @@
+package traceio
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+const goldenPath = "testdata/mini.ptrace.gz"
+
+// TestGoldenFixture pins the on-disk format: the committed fixture
+// must parse to exactly the trace Record produces today. If the format
+// (or miniWorkload) changes intentionally, regenerate with
+//
+//	UPDATE_GOLDEN=1 go test ./internal/traceio -run TestGoldenFixture
+//
+// and bump formatVersion when the change breaks old readers.
+func TestGoldenFixture(t *testing.T) {
+	want := mustRecord(t, miniWorkload())
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := WriteFile(goldenPath, want); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+	}
+	got, err := ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("golden fixture no longer matches Record(miniWorkload); " +
+			"if the format change is intentional, regenerate with UPDATE_GOLDEN=1")
+	}
+
+	// The golden trace replays and characterises.
+	if _, err := got.Workload(); err != nil {
+		t.Fatal(err)
+	}
+	sig := Characterise(got, CharacteriseOptions{})
+	if sig.Workload != "mini" || sig.Kernels != 2 || sig.Accesses == 0 {
+		t.Fatalf("golden signature malformed: %+v", sig)
+	}
+}

@@ -1,0 +1,63 @@
+package traceio
+
+import (
+	"testing"
+
+	"poise/internal/sim"
+	"poise/internal/trace"
+)
+
+// miniWorkload builds a tiny two-kernel workload exercising private,
+// shared and phased patterns, iteration jitter and a store slot — the
+// shapes the format must round-trip. It is the source of the committed
+// testdata/mini.ptrace.gz golden fixture (see TestGoldenFixture).
+func miniWorkload() *sim.Workload {
+	b := &trace.BodyBuilder{}
+	b.Load(1)
+	b.ALU(2)
+	b.Load(1)
+	b.ALU(1)
+	b.Store()
+	k1 := &trace.Kernel{
+		Name: "mini#0",
+		Body: b.Body(),
+		Patterns: []trace.Pattern{
+			trace.PrivateSweep{Region: 11, Lines: 6, Step: 1},
+			trace.SharedSweep{Region: 12, Lines: 10, Step: 1, Lag: 1},
+			trace.Stream{Region: 13, WrapLines: 64},
+		},
+		Iters:         8,
+		WarpsPerBlock: 2,
+		Blocks:        2,
+		Seed:          3,
+	}
+	b2 := &trace.BodyBuilder{}
+	b2.Load(1)
+	b2.ALU(3)
+	k2 := &trace.Kernel{
+		Name: "mini#1",
+		Body: b2.Body(),
+		Patterns: []trace.Pattern{
+			trace.Phased{
+				SwitchAt: 4,
+				A:        trace.IrregularPrivate{Region: 14, Lines: 5, Seed: 0x77},
+				B:        trace.IrregularShared{Region: 15, Lines: 12, Seed: 0x78, Cluster: 2},
+			},
+		},
+		Iters:         9,
+		IterJitter:    0.4,
+		WarpsPerBlock: 2,
+		Blocks:        2,
+		Seed:          5,
+	}
+	return &sim.Workload{Name: "mini", Kernels: []*trace.Kernel{k1, k2}, MemorySensitive: true}
+}
+
+func mustRecord(t *testing.T, w *sim.Workload) *Trace {
+	t.Helper()
+	tr, err := Record(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}

@@ -1,0 +1,121 @@
+package traceio
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"poise/internal/sim"
+)
+
+// WriteFile serialises t to path, gzip-compressing when the path ends
+// in ".gz".
+func WriteFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = Write(f, t, WriteOptions{Gzip: strings.HasSuffix(path, ".gz")})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("traceio: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFile parses one trace file. Poisetrace containers (optionally
+// gzipped) are detected by content; anything else is parsed as a
+// simplified Accel-Sim kernel trace, named after the file.
+func ReadFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// A .ptrace extension always means the container format, so corrupt
+	// containers get the strict parser's diagnostics instead of falling
+	// through to the accel-sim text parser.
+	if isPoisetrace(data) || strings.HasSuffix(path, ".ptrace") || strings.HasSuffix(path, ".ptrace.gz") {
+		t, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("%w (reading %s)", err, path)
+		}
+		return t, nil
+	}
+	t, err := ReadAccelSim(bytes.NewReader(data), workloadNameFromPath(path))
+	if err != nil {
+		return nil, fmt.Errorf("%w (reading %s)", err, path)
+	}
+	return t, nil
+}
+
+// isPoisetrace sniffs the container magic, including through a gzip
+// header (poisetrace is the only gzipped format we ingest).
+func isPoisetrace(data []byte) bool {
+	return bytes.HasPrefix(data, []byte(formatMagic)) ||
+		(len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b)
+}
+
+func workloadNameFromPath(path string) string {
+	base := filepath.Base(path)
+	for _, suffix := range []string{".gz", ".ptrace", ".trace", ".txt"} {
+		base = strings.TrimSuffix(base, suffix)
+	}
+	return base
+}
+
+// LoadWorkloads loads trace-backed workloads from path: either one
+// trace file or a directory of them (files with .ptrace, .ptrace.gz or
+// .trace extensions, non-recursive, name-sorted). Each trace becomes a
+// replayable sim.Workload.
+func LoadWorkloads(path string) ([]*sim.Workload, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("traceio: %w", err)
+	}
+	var files []string
+	if info.IsDir() {
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return nil, fmt.Errorf("traceio: %w", err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			name := e.Name()
+			if strings.HasSuffix(name, ".ptrace") || strings.HasSuffix(name, ".ptrace.gz") ||
+				strings.HasSuffix(name, ".trace") {
+				files = append(files, filepath.Join(path, name))
+			}
+		}
+		sort.Strings(files)
+		if len(files) == 0 {
+			return nil, fmt.Errorf("traceio: no trace files (*.ptrace, *.ptrace.gz, *.trace) in %s", path)
+		}
+	} else {
+		files = []string{path}
+	}
+	var out []*sim.Workload
+	seen := map[string]string{}
+	for _, f := range files {
+		t, err := ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := seen[t.Name]; dup {
+			return nil, fmt.Errorf("traceio: workload %q appears in both %s and %s", t.Name, prev, f)
+		}
+		seen[t.Name] = f
+		w, err := t.Workload()
+		if err != nil {
+			return nil, fmt.Errorf("%w (from %s)", err, f)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package traceio
+
+import (
+	"fmt"
+
+	"poise/internal/sim"
+	"poise/internal/trace"
+)
+
+// RecordOptions tunes Record.
+type RecordOptions struct {
+	// MaxWarpIters truncates each warp's captured iteration count
+	// (0 = record everything). Capped recordings are for preview and
+	// characterisation — cheap on huge kernels — not for bit-exact
+	// replay, which needs the full streams.
+	MaxWarpIters int
+}
+
+// Record captures w into a Trace by evaluating every kernel's address
+// patterns over the full launch geometry: for each slot and each
+// global warp, the per-iteration address stream the simulator would
+// observe. Patterns derive addresses only from the launch-geometry
+// fields of trace.Ctx (see the Pattern contract), so the recording is
+// policy-independent and replaying it reproduces any run bit-for-bit.
+func Record(w *sim.Workload) (*Trace, error) {
+	return RecordWith(w, RecordOptions{})
+}
+
+// RecordWith is Record with options.
+func RecordWith(w *sim.Workload, opts RecordOptions) (*Trace, error) {
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("traceio: recording: %w", err)
+	}
+	t := &Trace{Name: w.Name, MemorySensitive: w.MemorySensitive}
+	for _, k := range w.Kernels {
+		kt, err := recordKernel(k, opts)
+		if err != nil {
+			return nil, fmt.Errorf("traceio: recording %s: %w", k.Name, err)
+		}
+		t.Kernels = append(t.Kernels, kt)
+	}
+	return t, nil
+}
+
+func recordKernel(k *trace.Kernel, opts RecordOptions) (*KernelTrace, error) {
+	total := k.TotalWarps()
+	kt := &KernelTrace{
+		Name:             k.Name,
+		Body:             append([]trace.Instr(nil), k.Body...),
+		Slots:            len(k.Patterns),
+		WarpsPerBlock:    k.WarpsPerBlock,
+		Blocks:           k.Blocks,
+		MaxWarpsPerSched: k.MaxWarpsPerSched,
+		MaxBlocksPerSM:   k.MaxBlocksPerSM,
+		WarpIters:        make([]int, total),
+	}
+	for g := 0; g < total; g++ {
+		it := k.WarpIters(g)
+		if opts.MaxWarpIters > 0 && it > opts.MaxWarpIters {
+			it = opts.MaxWarpIters
+		}
+		kt.WarpIters[g] = it
+	}
+	kt.Streams = make([][][]uint64, len(k.Patterns))
+	for s, p := range k.Patterns {
+		kt.Streams[s] = make([][]uint64, total)
+		for g := 0; g < total; g++ {
+			ctx := trace.Ctx{
+				GlobalWarp: g,
+				Block:      g / k.WarpsPerBlock,
+				WarpInBlk:  g % k.WarpsPerBlock,
+			}
+			stream := make([]uint64, kt.WarpIters[g])
+			for seq := range stream {
+				addr := p.Addr(ctx, seq)
+				if addr%trace.LineBytes != 0 {
+					return nil, fmt.Errorf("slot %d warp %d seq %d: pattern emitted unaligned address %#x",
+						s, g, seq, addr)
+				}
+				stream[seq] = addr
+			}
+			kt.Streams[s][g] = stream
+		}
+	}
+	return kt, nil
+}

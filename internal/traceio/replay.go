@@ -1,0 +1,127 @@
+package traceio
+
+import (
+	"fmt"
+
+	"poise/internal/sim"
+	"poise/internal/trace"
+)
+
+// Replay plays one recorded address-stream slot back through the
+// simulator: Addr(c, seq) returns the recorded address of warp
+// c.GlobalWarp's seq-th access. It implements trace.Pattern (and
+// trace.Reseeder: recorded streams carry no randomness, so reseeding
+// is the identity and catalogue seeds pass through replayed workloads
+// unchanged).
+//
+// Replay is total: a warp or sequence number beyond the recorded
+// range wraps cyclically rather than panicking. With a kernel built by
+// Trace.Workload the recorded range is never exceeded — PerWarpIters
+// pins each warp to its recorded iteration count — but ingested
+// traces (Accel-Sim) may have ragged per-slot stream lengths, which
+// cyclic replay extends deterministically.
+type Replay struct {
+	name  string
+	warps [][]uint64
+	// footprint is the mean per-warp distinct-line count, precomputed
+	// at build time so Footprint stays O(1).
+	footprint int
+}
+
+// NewReplay builds a Replay for one slot from per-warp address
+// streams (warps[g][seq] is warp g's seq-th line-aligned address).
+func NewReplay(name string, warps [][]uint64) *Replay {
+	r := &Replay{name: name, warps: warps}
+	distinct := map[uint64]struct{}{}
+	var sum, counted int
+	for _, stream := range warps {
+		if len(stream) == 0 {
+			continue
+		}
+		clear(distinct)
+		for _, a := range stream {
+			distinct[a] = struct{}{}
+		}
+		sum += len(distinct)
+		counted++
+	}
+	if counted > 0 {
+		r.footprint = (sum + counted - 1) / counted
+	}
+	return r
+}
+
+// Addr implements trace.Pattern.
+func (r *Replay) Addr(c trace.Ctx, seq int) uint64 {
+	if len(r.warps) == 0 {
+		return 0
+	}
+	g := c.GlobalWarp
+	if g < 0 || g >= len(r.warps) {
+		g = ((g % len(r.warps)) + len(r.warps)) % len(r.warps)
+	}
+	stream := r.warps[g]
+	if len(stream) == 0 {
+		return 0
+	}
+	if seq < 0 || seq >= len(stream) {
+		seq = ((seq % len(stream)) + len(stream)) % len(stream)
+	}
+	return stream[seq]
+}
+
+// Footprint implements trace.Pattern.
+func (r *Replay) Footprint() int { return r.footprint }
+
+// Reseed implements trace.Reseeder: a recorded stream has no
+// randomness left to perturb.
+func (r *Replay) Reseed(delta uint64) trace.Pattern { return r }
+
+// String identifies the slot in logs and errors.
+func (r *Replay) String() string { return fmt.Sprintf("replay(%s)", r.name) }
+
+// Kernel builds the replayable trace.Kernel for one recorded kernel:
+// the recorded body and launch geometry with every pattern slot backed
+// by a Replay, and PerWarpIters pinning each warp to its recorded
+// iteration count.
+func (kt *KernelTrace) Kernel() (*trace.Kernel, error) {
+	if err := kt.validate(); err != nil {
+		return nil, fmt.Errorf("traceio: kernel %s: %w", kt.Name, err)
+	}
+	pats := make([]trace.Pattern, kt.Slots)
+	for s := range pats {
+		pats[s] = NewReplay(fmt.Sprintf("%s/slot%d", kt.Name, s), kt.Streams[s])
+	}
+	k := &trace.Kernel{
+		Name:             kt.Name,
+		Body:             append([]trace.Instr(nil), kt.Body...),
+		Patterns:         pats,
+		Iters:            kt.MaxIters(),
+		PerWarpIters:     append([]int(nil), kt.WarpIters...),
+		WarpsPerBlock:    kt.WarpsPerBlock,
+		Blocks:           kt.Blocks,
+		MaxWarpsPerSched: kt.MaxWarpsPerSched,
+		MaxBlocksPerSM:   kt.MaxBlocksPerSM,
+	}
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("traceio: kernel %s: %w", kt.Name, err)
+	}
+	return k, nil
+}
+
+// Workload builds a runnable sim.Workload that replays the trace
+// deterministically through the simulator.
+func (t *Trace) Workload() (*sim.Workload, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	w := &sim.Workload{Name: t.Name, MemorySensitive: t.MemorySensitive}
+	for _, kt := range t.Kernels {
+		k, err := kt.Kernel()
+		if err != nil {
+			return nil, err
+		}
+		w.Kernels = append(w.Kernels, k)
+	}
+	return w, nil
+}

@@ -1,0 +1,104 @@
+package traceio
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"poise/internal/config"
+	"poise/internal/sim"
+	"poise/internal/workloads"
+)
+
+// TestRecordReplayBitIdentical is the subsystem's headline guarantee:
+// recording a catalogue workload and replaying the trace through the
+// simulator reproduces the live synthetic run's metrics exactly —
+// every cycle count, hit split and per-SM counter. bfs exercises the
+// stochastic irregular patterns and iteration jitter; ii the
+// deterministic private sweeps. Under -race only ii runs (the full
+// pair costs ~10x there).
+func TestRecordReplayBitIdentical(t *testing.T) {
+	names := []string{"ii", "bfs"}
+	if raceEnabled {
+		names = []string{"ii"}
+	}
+	cfg := config.Default().Scale(2)
+	cat := workloads.NewCatalogue(workloads.Small)
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			w := cat.Must(name)
+			if raceEnabled {
+				// The race detector slows the cycle engine ~10x; one
+				// kernel of the workload still exercises the full
+				// record→serialise→parse→replay pipeline.
+				w = &sim.Workload{Name: w.Name, Kernels: w.Kernels[:1],
+					MemorySensitive: w.MemorySensitive}
+			}
+			live, err := sim.RunWorkload(cfg, w, sim.GTO{}, sim.RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Record, serialise, parse back, replay: the full pipeline,
+			// not just the in-memory shortcut.
+			tr := mustRecord(t, w)
+			var buf bytes.Buffer
+			if err := Write(&buf, tr, WriteOptions{Gzip: true}); err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := Read(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayW, err := parsed.Workload()
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayed, err := sim.RunWorkload(cfg, replayW, sim.GTO{}, sim.RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(live, replayed) {
+				t.Fatalf("replayed metrics differ from live run:\nlive:     %+v\nreplayed: %+v",
+					summary(live), summary(replayed))
+			}
+		})
+	}
+}
+
+// summary keeps the failure message readable; DeepEqual above still
+// compares every field including per-kernel and per-SM counters.
+func summary(r sim.WorkloadResult) map[string]any {
+	return map[string]any{
+		"cycles": r.Cycles, "instr": r.Instructions, "ipc": r.IPC,
+		"l1acc": r.L1.Accesses, "l1hits": r.L1.Hits,
+		"intra": r.L1.IntraWarpHits, "inter": r.L1.InterWarpHits,
+		"dram": r.DRAMAcc, "l2": r.L2Acc, "aml": r.AML,
+	}
+}
+
+// TestReplayUnderFixedPolicy re-checks the round trip under a
+// throttled tuple, where scheduling (and hence SM placement) differs
+// from GTO: address generation must be policy-independent.
+func TestReplayUnderFixedPolicy(t *testing.T) {
+	cfg := config.Default().Scale(1)
+	w := miniWorkload()
+	pol := sim.Fixed{N: 2, P: 1}
+	live, err := sim.RunWorkload(cfg, w, pol, sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayW, err := mustRecord(t, w).Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := sim.RunWorkload(cfg, replayW, pol, sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, replayed) {
+		t.Fatalf("fixed-policy replay differs:\nlive:     %+v\nreplayed: %+v",
+			summary(live), summary(replayed))
+	}
+}

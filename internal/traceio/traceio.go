@@ -1,0 +1,191 @@
+// Package traceio ingests recorded GPU kernel traces and turns them
+// into first-class workloads for the Poise pipeline.
+//
+// The synthetic catalogue (package workloads) evaluates the paper's
+// claims on address streams calibrated to Table IIIa; this package
+// opens the same pipeline to *externally supplied* workloads. Three
+// pieces cooperate:
+//
+//   - a versioned on-disk format ("poisetrace", see format.go) holding
+//     a workload's kernels as per-warp, per-slot cache-line address
+//     streams plus the instruction-level loop body — everything the
+//     simulator needs, nothing it derives;
+//   - Record, which captures any trace.Pattern-backed workload into a
+//     Trace by evaluating its patterns over the launch geometry, and
+//     Replay, a trace.Pattern that plays a recorded stream back — so
+//     record → replay is bit-identical to the live run, a round trip
+//     the tests verify without needing real hardware;
+//   - Characterise, which computes the locality signature the paper's
+//     analysis runs on (In, per-warp footprint, reuse distance R, the
+//     intra-/inter-warp reuse split) directly from a raw trace, so
+//     ingested workloads slot into the profiling and sensitivity
+//     machinery like calibrated synthetic ones.
+//
+// ReadAccelSim additionally parses a simplified Accel-Sim/GPGPU-Sim
+// style kernel-trace text layout (see accelsim.go), mapping static
+// memory PCs to pattern slots, so traces captured from real CUDA
+// binaries can be replayed through the simulator.
+package traceio
+
+import (
+	"fmt"
+
+	"poise/internal/trace"
+)
+
+// Trace is one recorded workload: an ordered list of kernel traces.
+type Trace struct {
+	// Name is the workload name; replayed workloads inherit it. (It is
+	// serialised under the "Workload" header key.)
+	Name string
+	// MemorySensitive carries the catalogue's Pbest>1.4 classification
+	// (false for ingested traces until characterised/profiled).
+	MemorySensitive bool
+	Kernels         []*KernelTrace
+}
+
+// KernelTrace is one kernel: its loop body, launch geometry and the
+// recorded address streams.
+type KernelTrace struct {
+	Name string
+	// Body is the kernel loop body; memory ops reference Streams by
+	// their Slot index.
+	Body []trace.Instr
+	// Slots is the number of address-stream slots (== len(Streams)).
+	Slots int
+
+	WarpsPerBlock    int
+	Blocks           int
+	MaxWarpsPerSched int
+	MaxBlocksPerSM   int
+
+	// WarpIters[g] is global warp g's recorded iteration count
+	// (len == WarpsPerBlock*Blocks).
+	WarpIters []int
+
+	// Streams[slot][warp] is the recorded line-aligned byte-address
+	// stream: the address of access seq is Streams[slot][warp][seq].
+	// Recorded streams have exactly WarpIters[warp] entries; ingested
+	// (Accel-Sim) streams may be shorter and are replayed cyclically.
+	Streams [][][]uint64
+}
+
+// TotalWarps returns the kernel's launch width.
+func (kt *KernelTrace) TotalWarps() int { return kt.WarpsPerBlock * kt.Blocks }
+
+// MaxIters returns the largest per-warp iteration count.
+func (kt *KernelTrace) MaxIters() int {
+	max := 1
+	for _, it := range kt.WarpIters {
+		if it > max {
+			max = it
+		}
+	}
+	return max
+}
+
+// Validate reports the first structural problem with the trace. A
+// valid Trace always builds a valid workload.
+func (t *Trace) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("traceio: trace needs a workload name")
+	}
+	if len(t.Kernels) == 0 {
+		return fmt.Errorf("traceio: trace %s has no kernels", t.Name)
+	}
+	for i, kt := range t.Kernels {
+		if kt == nil {
+			return fmt.Errorf("traceio: trace %s kernel %d is nil", t.Name, i)
+		}
+		if err := kt.validate(); err != nil {
+			return fmt.Errorf("traceio: trace %s kernel %d (%s): %w", t.Name, i, kt.Name, err)
+		}
+	}
+	return nil
+}
+
+// validateGeometry checks the launch-shape fields alone. The format
+// reader runs it before allocating stream storage, so a corrupt or
+// hostile header cannot overflow TotalWarps (an int multiply) or
+// drive absurd allocations.
+func (kt *KernelTrace) validateGeometry() error {
+	if kt.Name == "" {
+		return fmt.Errorf("kernel needs a name")
+	}
+	if len(kt.Body) == 0 {
+		return fmt.Errorf("empty body")
+	}
+	if kt.WarpsPerBlock <= 0 || kt.Blocks <= 0 {
+		return fmt.Errorf("launch geometry %dx%d warps/blocks must be positive",
+			kt.WarpsPerBlock, kt.Blocks)
+	}
+	// Each factor is bounded before the product so the int64 multiply
+	// itself cannot wrap (two ~2^31.5 factors would).
+	if kt.WarpsPerBlock > maxTotalWarps || kt.Blocks > maxTotalWarps ||
+		int64(kt.WarpsPerBlock)*int64(kt.Blocks) > maxTotalWarps {
+		return fmt.Errorf("launch of %dx%d warps exceeds the %d-warp limit",
+			kt.WarpsPerBlock, kt.Blocks, maxTotalWarps)
+	}
+	if kt.MaxWarpsPerSched < 0 || kt.MaxBlocksPerSM < 0 {
+		return fmt.Errorf("negative occupancy cap")
+	}
+	if kt.Slots < 0 || kt.Slots > maxSlots {
+		return fmt.Errorf("%d slots outside [0,%d]", kt.Slots, maxSlots)
+	}
+	return nil
+}
+
+func (kt *KernelTrace) validate() error {
+	if err := kt.validateGeometry(); err != nil {
+		return err
+	}
+	if kt.Slots != len(kt.Streams) {
+		return fmt.Errorf("%d slots but %d streams", kt.Slots, len(kt.Streams))
+	}
+	total := kt.TotalWarps()
+	if len(kt.WarpIters) != total {
+		return fmt.Errorf("%d WarpIters entries for %d warps", len(kt.WarpIters), total)
+	}
+	for g, it := range kt.WarpIters {
+		if it <= 0 {
+			return fmt.Errorf("warp %d has iteration count %d, must be positive", g, it)
+		}
+	}
+	used := make([]bool, kt.Slots)
+	for i, ins := range kt.Body {
+		switch ins.Kind {
+		case trace.OpALU:
+		case trace.OpLoad, trace.OpStore:
+			if ins.Slot < 0 || ins.Slot >= kt.Slots {
+				return fmt.Errorf("body[%d] references slot %d of %d", i, ins.Slot, kt.Slots)
+			}
+			if ins.Kind == trace.OpLoad && ins.UseDist < 0 {
+				return fmt.Errorf("body[%d] negative UseDist", i)
+			}
+			used[ins.Slot] = true
+		default:
+			return fmt.Errorf("body[%d] unknown op kind %d", i, ins.Kind)
+		}
+	}
+	for s, streams := range kt.Streams {
+		if len(streams) != total {
+			return fmt.Errorf("slot %d has %d warp streams for %d warps", s, len(streams), total)
+		}
+		for g, st := range streams {
+			if used[s] && len(st) == 0 {
+				return fmt.Errorf("slot %d warp %d has an empty stream but the body references it", s, g)
+			}
+			for j, addr := range st {
+				if addr%trace.LineBytes != 0 {
+					return fmt.Errorf("slot %d warp %d access %d: address %#x not %d-byte aligned",
+						s, g, j, addr, trace.LineBytes)
+				}
+				if int64(addr/trace.LineBytes) > maxLineIndex {
+					return fmt.Errorf("slot %d warp %d access %d: address %#x beyond the format's line-index limit",
+						s, g, j, addr)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -92,6 +92,14 @@ func NewCatalogueSeeded(size Size, seed int64) *Catalogue {
 	return c
 }
 
+// Put inserts w into the catalogue, replacing any existing workload
+// with the same name. Trace-backed workloads (package traceio) use it
+// to register alongside — or shadow, for record/replay comparisons —
+// the synthetic suite.
+func (c *Catalogue) Put(w *sim.Workload) {
+	c.all[w.Name] = w
+}
+
 // Get returns the workload with the given name.
 func (c *Catalogue) Get(name string) (*sim.Workload, error) {
 	w, ok := c.all[name]
