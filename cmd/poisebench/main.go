@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"poise/internal/experiments"
+	"poise/internal/gridplan"
 	"poise/internal/sim"
 	"poise/internal/traceio"
 	"poise/internal/workloads"
@@ -67,6 +68,14 @@ func main() {
 		seed     = flag.Int64("seed", 0, "experiment seed (perturbs workload jitter and random-restart; 0 = canonical)")
 		listExp  = flag.Bool("listexp", false, "list experiments and exit")
 		tracePth = flag.String("trace", "", "ingest trace workloads (a .ptrace/.ptrace.gz/.trace file or a directory) into the evaluation set")
+
+		// Sharded sweep flow: -emit-plan documents/ships the profile
+		// sweep plan; -shard i/N runs this process's slice and persists
+		// partials in -cache; -merge-shards folds the partials into the
+		// regular profile cache, after which normal runs load them.
+		emitPlan = flag.String("emit-plan", "", "write the evaluation sweep plan as JSONL to this file and exit")
+		shardStr = flag.String("shard", "", "run shard i/N of the evaluation sweeps, persist partials in -cache, and exit (format \"i/N\")")
+		mergeSh  = flag.Bool("merge-shards", false, "merge shard partials in -cache into full cached profiles and exit")
 	)
 	flag.Parse()
 
@@ -93,7 +102,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	h := experiments.NewHarness(experiments.Options{
+	opt := experiments.Options{
 		SMs:            *sms,
 		Size:           parseSize(*size),
 		CacheDir:       *cacheDir,
@@ -102,7 +111,24 @@ func main() {
 		Seed:           *seed,
 		Ctx:            ctx,
 		ExtraWorkloads: extra,
-	})
+	}
+	if *shardStr != "" {
+		i, n, err := gridplan.ParseShard(*shardStr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "poisebench:", err)
+			os.Exit(1)
+		}
+		opt.ShardIndex, opt.ShardCount = i, n
+	}
+	h := experiments.NewHarness(opt)
+
+	if *emitPlan != "" || *shardStr != "" || *mergeSh {
+		if err := runShardMode(h, *emitPlan, *shardStr, *mergeSh); err != nil {
+			fmt.Fprintln(os.Stderr, "poisebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("running on %d workers (seed %d)\n", h.Workers(), *seed)
 
 	want := map[string]bool{}
@@ -381,6 +407,40 @@ func runCost(h *experiments.Harness) error {
 	fmt.Printf("total per SM:         %.2f B (paper: 40.75 B)\n", c.TotalPerSM)
 	fmt.Printf("total chip (%d SMs):  %.0f B (paper: 1304 B at 32 SMs)\n", c.SMs, c.TotalChipBytes)
 	fmt.Printf("weights via constant memory: %d B\n", c.WeightBytes)
+	return nil
+}
+
+// runShardMode executes the sharded-sweep subcommands. Exactly one of
+// the three is active per invocation (emit, then shard workers, then
+// merge — each typically a separate process).
+func runShardMode(h *experiments.Harness, emitPlan, shard string, merge bool) error {
+	switch {
+	case emitPlan != "":
+		plan, err := h.EvalPlan()
+		if err != nil {
+			return err
+		}
+		plan.Sort()
+		if err := gridplan.WritePlanFile(emitPlan, plan); err != nil {
+			return err
+		}
+		fmt.Printf("plan %s: %d tasks over %d kernels\n", emitPlan, len(plan.Tasks), len(plan.Kernels()))
+	case shard != "":
+		files, err := h.RunShard()
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			fmt.Println("wrote", f)
+		}
+		fmt.Printf("shard %s: %d partial files\n", shard, len(files))
+	case merge:
+		names, err := h.MergeShardPartials()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("merged %d kernel profiles into the cache: %s\n", len(names), strings.Join(names, ", "))
+	}
 	return nil
 }
 

@@ -29,6 +29,18 @@
 // comparisons are a two-command affair. -list prints each workload's
 // characterised locality signature (In, reuse distance R, per-warp
 // footprint, intra/inter reuse split).
+//
+// Sharded {N, p} profile sweeps (package gridplan) — each step can run
+// in a different process or on a different machine:
+//
+//	poisesim -workload ii -emit-plan plan.jsonl
+//	poisesim -plan plan.jsonl -shard 0/2 -shard-out s0.jsonl
+//	poisesim -plan plan.jsonl -shard 1/2 -shard-out s1.jsonl
+//	poisesim -plan plan.jsonl -merge-shards s0.jsonl,s1.jsonl -profile-out profs
+//	poisesim -workload ii -sweep -profile-out reference   # unsharded reference
+//
+// Merging any shard split is byte-identical to the in-process sweep
+// (-sweep), which CI asserts with a directory diff.
 package main
 
 import (
@@ -65,6 +77,18 @@ func main() {
 		seed     = flag.Int64("seed", 0, "workload seed (perturbs iteration jitter; 0 = canonical)")
 		tracePth = flag.String("trace", "", "load trace workloads (a .ptrace/.ptrace.gz/.trace file or a directory) into the catalogue")
 		record   = flag.String("record", "", "record each selected workload to this directory as <name>.ptrace.gz before running")
+
+		// Sharded {N,p} sweep flow (package gridplan): emit a plan, run
+		// shards of it in separate processes, merge the partials.
+		emitPlan = flag.String("emit-plan", "", "write the selected workloads' sweep plan as JSONL to this file and exit")
+		planPth  = flag.String("plan", "", "sweep plan file (from -emit-plan) for -shard / -merge-shards")
+		shardStr = flag.String("shard", "", "run shard i/N of -plan and write measurements to -shard-out (format \"i/N\")")
+		shardOut = flag.String("shard-out", "", "measurement JSONL output file for -shard")
+		mergeStr = flag.String("merge-shards", "", "comma-separated shard measurement files to merge into profiles under -profile-out (needs -plan)")
+		profDir  = flag.String("profile-out", "", "profile cache directory -merge-shards and -sweep write to")
+		sweepRun = flag.Bool("sweep", false, "run an in-process sweep of the selected workloads and save profiles under -profile-out (the unsharded reference)")
+		stepN    = flag.Int("stepn", 2, "sweep grid N step for the plan/sweep modes")
+		stepP    = flag.Int("stepp", 2, "sweep grid p step for the plan/sweep modes")
 	)
 	flag.Parse()
 
@@ -138,6 +162,20 @@ func main() {
 		cfg.L1.SizeBytes *= *l1x
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *emitPlan != "" || *shardStr != "" || *mergeStr != "" || *sweepRun {
+		runSweepMode(sweepModeArgs{
+			cfg: cfg, cat: cat, selected: ws, ctx: ctx,
+			emitPlan: *emitPlan, planPath: *planPth,
+			shard: *shardStr, shardOut: *shardOut,
+			merge: *mergeStr, profileDir: *profDir, sweep: *sweepRun,
+			stepN: *stepN, stepP: *stepP, workers: *parallel, seed: *seed,
+		})
+		return
+	}
+
 	// Each run needs its own policy instance (the adaptive policies are
 	// stateful), derived deterministically from the run's index.
 	newPolicy := func(i int) (sim.Policy, error) {
@@ -161,9 +199,6 @@ func main() {
 	if _, err := newPolicy(0); err != nil {
 		fatal(err)
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	type run struct {
 		res     sim.WorkloadResult

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"poise/internal/config"
+	"poise/internal/gridplan"
+	"poise/internal/profile"
+	"poise/internal/sim"
+	"poise/internal/trace"
+	"poise/internal/workloads"
+)
+
+// The sharded sweep flow, file-based so each step can run in a
+// different process (or on a different machine — ship the plan out,
+// ship the shard partials back):
+//
+//	poisesim -workload ii -emit-plan plan.jsonl            # coordinator
+//	poisesim -plan plan.jsonl -shard 0/2 -shard-out s0.jsonl   # worker 0
+//	poisesim -plan plan.jsonl -shard 1/2 -shard-out s1.jsonl   # worker 1
+//	poisesim -plan plan.jsonl -merge-shards s0.jsonl,s1.jsonl -profile-out profs
+//
+// -sweep writes the unsharded reference profiles for the same grid, so
+// `diff -r` between the two output directories proves the shard path
+// bit-identical (CI does exactly that).
+
+type sweepModeArgs struct {
+	cfg      config.Config
+	cat      *workloads.Catalogue
+	selected []*sim.Workload
+	ctx      context.Context
+
+	emitPlan   string
+	planPath   string
+	shard      string
+	shardOut   string
+	merge      string
+	profileDir string
+	sweep      bool
+
+	stepN, stepP int
+	workers      int
+	seed         int64
+}
+
+func runSweepMode(a sweepModeArgs) {
+	opts := profile.SweepOptions{StepN: a.stepN, StepP: a.stepP, Workers: a.workers, Ctx: a.ctx}
+	// The tag keys profiles by everything that changes them: the scaled
+	// configuration, the grid resolution, and the catalogue seed (the
+	// kernels' stochastic streams). All processes of one campaign agree
+	// on these flags, so they agree on the tag.
+	tag := profile.SweepTag(a.cfg, opts)
+	if a.seed != 0 {
+		tag = fmt.Sprintf("%s-seed%d", tag, a.seed)
+	}
+
+	switch {
+	case a.emitPlan != "":
+		plan := &gridplan.Plan{Version: gridplan.PlanVersion}
+		kernels := sim.DistinctKernels(a.selected)
+		for _, k := range kernels {
+			kp := profile.BuildPlan(tag, a.cfg, k, opts)
+			plan.Tasks = append(plan.Tasks, kp.Tasks...)
+		}
+		plan.Sort()
+		if err := plan.Validate(); err != nil {
+			fatal(err)
+		}
+		if err := gridplan.WritePlanFile(a.emitPlan, plan); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan %s: %d tasks over %d kernels (tag %s)\n",
+			a.emitPlan, len(plan.Tasks), len(kernels), tag)
+
+	case a.shard != "":
+		index, count, err := gridplan.ParseShard(a.shard)
+		if err != nil {
+			fatal(err)
+		}
+		if a.planPath == "" || a.shardOut == "" {
+			fatal(fmt.Errorf("-shard needs -plan and -shard-out"))
+		}
+		plan, err := gridplan.ReadPlanFile(a.planPath)
+		if err != nil {
+			fatal(err)
+		}
+		sp, err := plan.Shard(index, count)
+		if err != nil {
+			fatal(err)
+		}
+		ms, err := profile.RunTasks(a.cfg, catalogueKernels(a.cat), sp.Tasks, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if err := gridplan.WriteMeasurementsFile(a.shardOut, index, count, ms); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("shard %d/%d: %d of %d tasks -> %s\n",
+			index, count, len(ms), len(plan.Tasks), a.shardOut)
+
+	case a.merge != "":
+		if a.planPath == "" || a.profileDir == "" {
+			fatal(fmt.Errorf("-merge-shards needs -plan and -profile-out"))
+		}
+		plan, err := gridplan.ReadPlanFile(a.planPath)
+		if err != nil {
+			fatal(err)
+		}
+		var shards [][]gridplan.Measurement
+		for _, f := range strings.Split(a.merge, ",") {
+			if f = strings.TrimSpace(f); f == "" {
+				continue
+			}
+			ms, err := gridplan.ReadMeasurementsFile(f)
+			if err != nil {
+				fatal(err)
+			}
+			shards = append(shards, ms)
+		}
+		merged, err := gridplan.Merge(shards...)
+		if err != nil {
+			fatal(err)
+		}
+		if err := plan.Verify(merged); err != nil {
+			fatal(err)
+		}
+		st := profile.Store{Dir: a.profileDir}
+		for _, g := range plan.Kernels() {
+			var ms []gridplan.Measurement
+			for _, m := range merged {
+				if m.Tag == g.Tag && m.Kernel == g.Kernel {
+					ms = append(ms, m)
+				}
+			}
+			pr, err := profile.MergeShards(g.Kernel, ms)
+			if err != nil {
+				fatal(err)
+			}
+			if err := st.Save(g.Tag, pr); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("merged %s: %d points -> %s\n", g.Kernel, len(pr.Points), a.profileDir)
+		}
+
+	case a.sweep:
+		if a.profileDir == "" {
+			fatal(fmt.Errorf("-sweep needs -profile-out"))
+		}
+		st := profile.Store{Dir: a.profileDir}
+		for _, k := range sim.DistinctKernels(a.selected) {
+			pr, err := profile.Sweep(a.cfg, k, opts)
+			if err != nil {
+				fatal(err)
+			}
+			if err := st.Save(tag, pr); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("swept %s: %d points -> %s\n", k.Name, len(pr.Points), a.profileDir)
+		}
+	}
+}
+
+// catalogueKernels indexes every kernel of every catalogue workload by
+// name, so a shard worker resolves plan tasks regardless of its own
+// -workload selection; the plan's content digests still guard against
+// a catalogue that materialises different kernels.
+func catalogueKernels(cat *workloads.Catalogue) map[string]*trace.Kernel {
+	idx := map[string]*trace.Kernel{}
+	for _, name := range cat.Names() {
+		w, err := cat.Get(name)
+		if err != nil {
+			fatal(err)
+		}
+		for _, k := range w.Kernels {
+			idx[k.Name] = k
+		}
+	}
+	return idx
+}

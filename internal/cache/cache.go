@@ -273,6 +273,16 @@ func (c *Cache) Fill(addr uint64, warp int32, pc int32, allocate bool) {
 	*lru = line{tag: la, valid: true, lastWarp: warp, lastPC: pc, lruTick: c.tick}
 }
 
+// Reset restores the cache to its just-constructed state: all lines
+// invalid, LRU clock and statistics zeroed, victim tags detached. The
+// GPU pool relies on Reset leaving state reflect.DeepEqual-identical
+// to New with the same geometry.
+func (c *Cache) Reset() {
+	c.Flush()
+	c.Stats = Stats{}
+	c.victim = nil
+}
+
 // Flush invalidates all lines and resets the LRU clock. Statistics are
 // preserved (callers snapshot/restore as needed).
 func (c *Cache) Flush() {

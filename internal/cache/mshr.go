@@ -109,3 +109,11 @@ func (f *MSHRFile) Reset() {
 		delete(f.entries, k)
 	}
 }
+
+// Clear restores the file to its just-constructed state: no entries
+// and zeroed counters. The GPU pool relies on Clear leaving state
+// reflect.DeepEqual-identical to NewMSHRFile with the same capacity.
+func (f *MSHRFile) Clear() {
+	f.Reset()
+	f.Allocs, f.Merges, f.FullFails, f.PeakUsed = 0, 0, 0, 0
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"poise/internal/config"
+	"poise/internal/gridplan"
 	"poise/internal/poise"
 	"poise/internal/profile"
 	"poise/internal/runner"
@@ -71,6 +72,16 @@ type Options struct {
 	// evaluation set, so profile sweeps, tables and figures run over
 	// ingested traces unchanged.
 	ExtraWorkloads []*sim.Workload
+
+	// ShardIndex/ShardCount select this process's slice of the profile
+	// sweep plan for RunShard: of the evaluation kernels' grid points
+	// (sorted by task key), this process simulates those with
+	// index % ShardCount == ShardIndex and persists the measurements as
+	// shard partials in CacheDir. ShardCount 0 (the default) means the
+	// harness is not shard-restricted. Merging any shard split is
+	// bit-identical to the in-process sweep, so fanning a sweep across
+	// processes or machines never changes a figure.
+	ShardIndex, ShardCount int
 }
 
 func (o Options) withDefaults() Options {
@@ -219,40 +230,17 @@ func (h *Harness) profileTag(kernel string) string {
 	return t
 }
 
-// workloadDigest fingerprints a workload's kernels: structure, per-
-// warp iteration counts, and pattern addresses sampled across warps
-// and iterations. Sampling keeps the digest cheap while still moving
-// whenever a trace is re-recorded (a different seed or source perturbs
-// essentially every address of the stochastic streams).
+// workloadDigest fingerprints a workload by composing its kernels'
+// content digests (gridplan.KernelDigest: structure, per-warp
+// iteration counts, sampled pattern addresses — cheap, yet it moves
+// whenever a trace is re-recorded). The same per-kernel digest
+// authenticates sweep-plan tasks, so the cache tags and the shard
+// protocol can never disagree about what a kernel's content is.
 func workloadDigest(w *sim.Workload) string {
 	d := sha256.New()
 	fmt.Fprintf(d, "%s/%d", w.Name, len(w.Kernels))
 	for _, k := range w.Kernels {
-		fmt.Fprintf(d, "|%s;%d;%d;%d;%d;%d;%v", k.Name, k.Iters,
-			k.WarpsPerBlock, k.Blocks, k.MaxWarpsPerSched, k.MaxBlocksPerSM, k.IterJitter)
-		for _, ins := range k.Body {
-			fmt.Fprintf(d, ",%d.%d.%d.%v", ins.Kind, ins.Slot, ins.UseDist, ins.DepALU)
-		}
-		for _, it := range k.PerWarpIters {
-			fmt.Fprintf(d, ":%d", it)
-		}
-		total := k.TotalWarps()
-		for _, g := range []int{0, total / 3, total / 2, total - 1} {
-			if g < 0 || g >= total {
-				continue
-			}
-			ctx := trace.Ctx{GlobalWarp: g, Block: g / k.WarpsPerBlock, WarpInBlk: g % k.WarpsPerBlock}
-			iters := k.WarpIters(g)
-			for slot, p := range k.Patterns {
-				for probe := 0; probe < 16; probe++ {
-					seq := probe * iters / 16
-					if seq >= iters {
-						break
-					}
-					fmt.Fprintf(d, "@%d.%d.%d=%x", g, slot, seq, p.Addr(ctx, seq))
-				}
-			}
-		}
+		fmt.Fprintf(d, "|%s", gridplan.KernelDigest(k))
 	}
 	return hex.EncodeToString(d.Sum(nil)[:8])
 }
@@ -269,16 +257,7 @@ func (h *Harness) KernelProfile(k *trace.Kernel) (*profile.Profile, error) {
 // WorkloadProfiles returns per-kernel profiles for a set of workloads,
 // sweeping distinct kernels concurrently.
 func (h *Harness) WorkloadProfiles(ws []*sim.Workload) (map[string]*profile.Profile, error) {
-	var kernels []*trace.Kernel
-	seen := map[string]bool{}
-	for _, w := range ws {
-		for _, k := range w.Kernels {
-			if !seen[k.Name] {
-				seen[k.Name] = true
-				kernels = append(kernels, k)
-			}
-		}
-	}
+	kernels := sim.DistinctKernels(ws)
 	// Each sweep already parallelises its own grid points across the
 	// full pool, so the outer kernel level stays narrow (two lanes just
 	// to overlap one sweep's sequential baseline run with another's

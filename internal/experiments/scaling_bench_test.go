@@ -3,6 +3,10 @@ package experiments
 import (
 	"fmt"
 	"testing"
+
+	"poise/internal/config"
+	"poise/internal/profile"
+	"poise/internal/testutil"
 )
 
 // BenchmarkFigureSweep measures the wall-clock of the Fig. 7-10/14
@@ -32,6 +36,49 @@ func BenchmarkFigureSweep(b *testing.B) {
 				}
 				if len(sum.Rows) == 0 {
 					b.Fatal("empty summary")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepPooledGPU compares the worker-pinned GPU pool against
+// the old fresh-GPU-per-grid-point pattern on one kernel's profile
+// sweep:
+//
+//	go test ./internal/experiments -bench SweepPooledGPU -benchtime 3x
+//
+// The results are bit-identical (TestPooledSweepMatchesFresh); what
+// moves is allocation churn. The sweep uses the default experiment
+// platform (8 SMs with a proportionally scaled L2) at the evaluation
+// grid resolution — ~90 grid points — over a short kernel, the regime
+// large sweep campaigns live in (many points, bounded per-point
+// work). Building the memory hierarchy per point then dominates the
+// allocation profile, and the pool recycles it: B/op drops by roughly
+// grid-size over worker-count (the per-SM tag stores, warp slots,
+// MSHR files, L2 banks and DRAM servers are reused in place).
+func BenchmarkSweepPooledGPU(b *testing.B) {
+	cfg := config.Default().Scale(8)
+	k := testutil.ThrashKernel("poolbench", 32, 4, 16)
+	opts := profile.SweepOptions{StepN: 2, StepP: 2, Workers: 1}
+	for _, mode := range []struct {
+		name  string
+		fresh bool
+	}{
+		{"pooled", false},
+		{"fresh-per-point", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			o := opts
+			o.FreshGPUs = mode.fresh
+			for i := 0; i < b.N; i++ {
+				pr, err := profile.Sweep(cfg, k, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(pr.Points) == 0 {
+					b.Fatal("empty profile")
 				}
 			}
 		})

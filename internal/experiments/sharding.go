@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"poise/internal/gridplan"
+	"poise/internal/profile"
+	"poise/internal/sim"
+	"poise/internal/trace"
+)
+
+// Sharded profile sweeps: the harness's offline {N, p} sweeps — the
+// wall-clock-dominating step of the evaluation — expressed as a
+// serialisable plan that any number of processes can split. The
+// workflow is
+//
+//	coordinator: EmitPlan                 -> plan.jsonl (ship to workers)
+//	worker i:    Options{ShardIndex: i, ShardCount: N}; RunShard()
+//	             -> shard partials in CacheDir (ship back)
+//	coordinator: MergeShardPartials       -> regular profile cache
+//	any run:     tables/figures load the merged cache entries
+//
+// Merging any shard split is reflect.DeepEqual-identical to the
+// in-process sweep, so a sharded campaign can never change a figure.
+
+// EvalPlan enumerates the full profile sweep plan of the evaluation
+// set: every distinct kernel's grid at the evaluation resolution, each
+// task tagged with the kernel's profile-cache key and content digest.
+func (h *Harness) EvalPlan() (*gridplan.Plan, error) {
+	plan := &gridplan.Plan{Version: gridplan.PlanVersion}
+	for _, k := range sim.DistinctKernels(h.EvalWorkloads()) {
+		kp := profile.BuildPlan(h.profileTag(k.Name), h.Cfg, k, h.sweepOptions(false))
+		plan.Tasks = append(plan.Tasks, kp.Tasks...)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// EmitPlan writes the evaluation sweep plan as JSONL.
+func (h *Harness) EmitPlan(w io.Writer) error {
+	plan, err := h.EvalPlan()
+	if err != nil {
+		return err
+	}
+	plan.Sort()
+	return gridplan.WritePlan(w, plan)
+}
+
+// RunShard simulates this process's shard of the evaluation sweep plan
+// (Options.ShardIndex of Options.ShardCount) and persists the
+// measurements as per-kernel shard partials in the cache directory.
+// It returns the partial files written. The shard split is a pure
+// function of the plan, so N processes configured i/N cover every grid
+// point exactly once without coordinating.
+func (h *Harness) RunShard() ([]string, error) {
+	if h.Opt.CacheDir == "" {
+		return nil, errors.New("experiments: sharded sweeps need a cache directory for partials")
+	}
+	if h.Opt.ShardCount < 1 {
+		return nil, fmt.Errorf("experiments: ShardCount %d < 1", h.Opt.ShardCount)
+	}
+	plan, err := h.EvalPlan()
+	if err != nil {
+		return nil, err
+	}
+	shard, err := plan.Shard(h.Opt.ShardIndex, h.Opt.ShardCount)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := profile.RunTasks(h.Cfg, h.kernelIndex(), shard.Tasks, h.sweepOptions(false))
+	if err != nil {
+		return nil, err
+	}
+
+	// Group the measurements per (tag, kernel) in first-appearance
+	// order; RunTasks returns them aligned with shard.Tasks.
+	type group struct {
+		tag, kernel string
+		ms          []gridplan.Measurement
+	}
+	byKey := map[string]*group{}
+	var order []*group
+	for i, t := range shard.Tasks {
+		key := t.Tag + "|" + t.Kernel
+		g, ok := byKey[key]
+		if !ok {
+			g = &group{tag: t.Tag, kernel: t.Kernel}
+			byKey[key] = g
+			order = append(order, g)
+		}
+		g.ms = append(g.ms, ms[i])
+	}
+	var files []string
+	for _, g := range order {
+		f, err := h.store.SaveShard(g.tag, g.kernel, h.Opt.ShardIndex, h.Opt.ShardCount, g.ms)
+		if err != nil {
+			return files, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// MergeShardPartials merges every evaluation kernel's persisted shard
+// partials into regular profile cache entries, verifying complete
+// coverage against the plan (a lost shard fails loudly rather than
+// producing a sparse profile). It returns the merged kernel names.
+// After a merge, ordinary figure/table runs on the same cache
+// directory load the profiles without sweeping.
+func (h *Harness) MergeShardPartials() ([]string, error) {
+	if h.Opt.CacheDir == "" {
+		return nil, errors.New("experiments: no cache directory to merge shard partials from")
+	}
+	plan, err := h.EvalPlan()
+	if err != nil {
+		return nil, err
+	}
+	var merged []string
+	for _, g := range plan.Kernels() {
+		if _, err := h.store.MergeSavedShards(g.Tag, g.Kernel, plan); err != nil {
+			return merged, fmt.Errorf("experiments: merging %s: %w", g.Kernel, err)
+		}
+		merged = append(merged, g.Kernel)
+	}
+	return merged, nil
+}
+
+// kernelIndex maps every evaluation kernel name to its kernel.
+func (h *Harness) kernelIndex() map[string]*trace.Kernel {
+	idx := map[string]*trace.Kernel{}
+	for _, k := range sim.DistinctKernels(h.EvalWorkloads()) {
+		idx[k.Name] = k
+	}
+	return idx
+}

@@ -1,0 +1,316 @@
+// Package gridplan turns {N, p} solution-space sweeps into serialisable
+// work descriptors so a profile sweep can be fanned out across
+// processes (and, with a transport on top, across machines). It owns
+// the three pieces every distributed sweep needs and nothing else:
+//
+//   - Enumerate: the canonical grid walk, extracted from profile.Sweep
+//     so the in-process sweep and an emitted plan can never disagree
+//     about which points exist.
+//   - Plan / Task: content-digested task descriptors (kernel digest +
+//     configuration tag + {n, p} point + seed) that round-trip through
+//     a JSONL file. The digest lets a worker refuse a plan whose
+//     kernels drifted from its own catalogue.
+//   - Shard / Merge: deterministic i-of-N splitting and key-ordered
+//     merging of per-shard measurements, so merging any shard count —
+//     including one — reproduces the single-process sweep bit for bit.
+//
+// The package is deliberately below profile in the dependency order:
+// it knows about kernels (package trace) but not about Profiles;
+// package profile assembles merged measurements back into a Profile.
+package gridplan
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"poise/internal/trace"
+)
+
+// Coord is one {N, p} grid point.
+type Coord struct {
+	N, P int
+}
+
+// Enumerate returns the canonical sweep grid for a kernel whose
+// per-scheduler warp bound is maxN: every (n, p) with 1 <= p <= n <=
+// maxN at the given step resolution, the closed diagonal p == n at
+// StepN resolution (the SWL baseline needs it), and the three corner
+// points the paper's figures reference — deduplicated, in a
+// deterministic order. Steps <= 0 mean exhaustive (step 1).
+func Enumerate(maxN, stepN, stepP int) []Coord {
+	if stepN <= 0 {
+		stepN = 1
+	}
+	if stepP <= 0 {
+		stepP = 1
+	}
+	var grid []Coord
+	seen := map[Coord]bool{}
+	add := func(n, p int) {
+		c := Coord{N: n, P: p}
+		if n < 1 || p < 1 || p > n || n > maxN || seen[c] {
+			return
+		}
+		seen[c] = true
+		grid = append(grid, c)
+	}
+	for n := 1; n <= maxN; n += stepN {
+		for p := 1; p <= n; p += stepP {
+			add(n, p)
+		}
+		// Always close the diagonal and the column top.
+		add(n, n)
+	}
+	// Ensure the corner rows/columns the paper's figures reference.
+	for _, c := range []Coord{{maxN, maxN}, {maxN, 1}, {1, 1}} {
+		add(c.N, c.P)
+	}
+	return grid
+}
+
+// Task is one serialisable simulation unit: run kernel Kernel at grid
+// point (N, P) under the configuration identified by Tag. Digest
+// fingerprints the kernel's content so a worker process can verify its
+// catalogue materialises the same kernel the plan was emitted from.
+type Task struct {
+	Tag    string `json:"tag"`    // configuration/profile-cache tag
+	Kernel string `json:"kernel"` // kernel name, resolved via the catalogue
+	Digest string `json:"digest"` // content digest, see KernelDigest
+	N      int    `json:"n"`
+	P      int    `json:"p"`
+	Seed   int64  `json:"seed,omitempty"` // the kernel's address-stream seed
+}
+
+// Key is the task's stable ordering and identity key. Merging sorts by
+// it, so the zero-padded coordinates make lexicographic order equal
+// (tag, kernel, N, P) order — the same (N, P) order profile.Sweep
+// sorts its points into.
+func (t Task) Key() string {
+	return fmt.Sprintf("%s|%s|%04d|%04d", t.Tag, t.Kernel, t.N, t.P)
+}
+
+// PlanVersion is the on-disk plan/measurement format version.
+const PlanVersion = 1
+
+// Plan is an ordered set of tasks — typically every grid point of
+// every kernel in one sweep campaign.
+type Plan struct {
+	Version int    `json:"version"`
+	Tasks   []Task `json:"-"`
+}
+
+// Sort orders the tasks by key (stable identity order). Shard and
+// Verify call it implicitly; exported for callers that want the
+// canonical order for display.
+func (p *Plan) Sort() {
+	sort.Slice(p.Tasks, func(i, j int) bool {
+		return p.Tasks[i].Key() < p.Tasks[j].Key()
+	})
+}
+
+// Validate reports duplicate task keys or malformed coordinates.
+func (p *Plan) Validate() error {
+	seen := map[string]bool{}
+	for _, t := range p.Tasks {
+		if t.Kernel == "" {
+			return fmt.Errorf("gridplan: task %s has no kernel", t.Key())
+		}
+		if t.N < 1 || t.P < 1 || t.P > t.N {
+			return fmt.Errorf("gridplan: task %s violates 1 <= p <= N", t.Key())
+		}
+		k := t.Key()
+		if seen[k] {
+			return fmt.Errorf("gridplan: duplicate task %s", k)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+// Shard returns the i-of-n slice of the plan: tasks are sorted by key
+// and dealt round-robin, so shards are near-equal in size and the
+// split is a pure function of (plan, i, n) — any process holding the
+// same plan file computes the same shard. Shard(0, 1) is the whole
+// plan.
+func (p *Plan) Shard(i, n int) (*Plan, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gridplan: shard count %d < 1", n)
+	}
+	if i < 0 || i >= n {
+		return nil, fmt.Errorf("gridplan: shard index %d outside [0,%d)", i, n)
+	}
+	sorted := &Plan{Version: p.Version, Tasks: append([]Task(nil), p.Tasks...)}
+	sorted.Sort()
+	out := &Plan{Version: p.Version}
+	for idx, t := range sorted.Tasks {
+		if idx%n == i {
+			out.Tasks = append(out.Tasks, t)
+		}
+	}
+	return out, nil
+}
+
+// ParseShard parses a command-line "i/N" shard assignment (e.g.
+// "0/4"), validating 0 <= i < N.
+func ParseShard(s string) (index, count int, err error) {
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("gridplan: shard %q is not of the form i/N", s)
+	}
+	index, err1 := strconv.Atoi(s[:i])
+	count, err2 := strconv.Atoi(s[i+1:])
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("gridplan: shard %q is not of the form i/N", s)
+	}
+	if count < 1 {
+		return 0, 0, fmt.Errorf("gridplan: shard count %d < 1 in %q", count, s)
+	}
+	if index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("gridplan: shard index %d outside [0,%d) in %q", index, count, s)
+	}
+	return index, count, nil
+}
+
+// Kernels returns the distinct (tag, kernel) pairs of the plan in key
+// order, with each pair's tasks grouped.
+func (p *Plan) Kernels() []KernelTasks {
+	byKey := map[string]*KernelTasks{}
+	var order []string
+	sorted := &Plan{Tasks: append([]Task(nil), p.Tasks...)}
+	sorted.Sort()
+	for _, t := range sorted.Tasks {
+		k := t.Tag + "|" + t.Kernel
+		g, ok := byKey[k]
+		if !ok {
+			g = &KernelTasks{Tag: t.Tag, Kernel: t.Kernel}
+			byKey[k] = g
+			order = append(order, k)
+		}
+		g.Tasks = append(g.Tasks, t)
+	}
+	out := make([]KernelTasks, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byKey[k])
+	}
+	return out
+}
+
+// KernelTasks groups one kernel's tasks within a plan.
+type KernelTasks struct {
+	Tag    string
+	Kernel string
+	Tasks  []Task
+}
+
+// Measurement is the raw result of one executed Task. It carries
+// un-normalised metrics only: speedups are computed at merge time from
+// the baseline (maxN, maxN) measurement, which may live in a different
+// shard than the point it normalises.
+type Measurement struct {
+	Tag    string `json:"tag"`
+	Kernel string `json:"kernel"`
+	N      int    `json:"n"`
+	P      int    `json:"p"`
+
+	IPC          float64 `json:"ipc"`
+	HitRate      float64 `json:"hitRate"`
+	AML          float64 `json:"aml"`
+	Cycles       int64   `json:"cycles"`
+	Instructions int64   `json:"instructions"`
+}
+
+// Key mirrors Task.Key.
+func (m Measurement) Key() string {
+	return fmt.Sprintf("%s|%s|%04d|%04d", m.Tag, m.Kernel, m.N, m.P)
+}
+
+// Merge combines per-shard measurement sets into one key-ordered set.
+// Duplicate keys are an error (a point ran in two shards — the split
+// was inconsistent), so the merge is deterministic and associative:
+// any shard decomposition of a plan merges to the same slice.
+func Merge(shards ...[]Measurement) ([]Measurement, error) {
+	var all []Measurement
+	for _, s := range shards {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key() < all[j].Key() })
+	for i := 1; i < len(all); i++ {
+		if all[i].Key() == all[i-1].Key() {
+			return nil, fmt.Errorf("gridplan: point %s measured in two shards", all[i].Key())
+		}
+	}
+	return all, nil
+}
+
+// Verify checks that the measurements cover the plan's tasks exactly:
+// no point missing, none extra. Use it before assembling profiles so a
+// lost or double-submitted shard fails loudly instead of producing a
+// silently sparse profile.
+func (p *Plan) Verify(ms []Measurement) error {
+	want := map[string]bool{}
+	for _, t := range p.Tasks {
+		want[t.Key()] = true
+	}
+	got := map[string]bool{}
+	for _, m := range ms {
+		k := m.Key()
+		if !want[k] {
+			return fmt.Errorf("gridplan: measurement %s is not in the plan", k)
+		}
+		if got[k] {
+			return fmt.Errorf("gridplan: measurement %s appears twice", k)
+		}
+		got[k] = true
+	}
+	for k := range want {
+		if !got[k] {
+			return fmt.Errorf("gridplan: plan task %s has no measurement (missing shard?)", k)
+		}
+	}
+	return nil
+}
+
+// KernelDigest fingerprints a kernel's content: structure, body,
+// per-warp iteration counts and pattern addresses sampled across warps
+// and iterations. Sampling keeps the digest cheap while still moving
+// whenever the kernel is regenerated differently (a different seed or
+// source perturbs essentially every address of the stochastic
+// streams). Workers compare it against a plan's Task.Digest before
+// simulating, so a stale catalogue cannot silently corrupt a sweep.
+func KernelDigest(k *trace.Kernel) string {
+	d := sha256.New()
+	fmt.Fprintf(d, "%s;%d;%d;%d;%d;%d;%d;%v", k.Name, k.Iters,
+		k.WarpsPerBlock, k.Blocks, k.MaxWarpsPerSched, k.MaxBlocksPerSM,
+		k.Seed, k.IterJitter)
+	for _, ins := range k.Body {
+		fmt.Fprintf(d, ",%d.%d.%d.%v", ins.Kind, ins.Slot, ins.UseDist, ins.DepALU)
+	}
+	for _, it := range k.PerWarpIters {
+		fmt.Fprintf(d, ":%d", it)
+	}
+	total := k.TotalWarps()
+	for _, g := range []int{0, total / 3, total / 2, total - 1} {
+		if g < 0 || g >= total {
+			continue
+		}
+		ctx := trace.Ctx{GlobalWarp: g, Block: g / k.WarpsPerBlock, WarpInBlk: g % k.WarpsPerBlock}
+		iters := k.WarpIters(g)
+		for slot, p := range k.Patterns {
+			if p == nil {
+				continue
+			}
+			for probe := 0; probe < 16; probe++ {
+				seq := probe * iters / 16
+				if seq >= iters {
+					break
+				}
+				fmt.Fprintf(d, "@%d.%d.%d=%x", g, slot, seq, p.Addr(ctx, seq))
+			}
+		}
+	}
+	return hex.EncodeToString(d.Sum(nil)[:8])
+}

@@ -1,0 +1,274 @@
+package profile
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"poise/internal/config"
+	"poise/internal/gridplan"
+	"poise/internal/runner"
+	"poise/internal/sim"
+	"poise/internal/trace"
+)
+
+// This file is the sharded face of the sweep: a sweep is planned
+// (BuildPlan), executed task by task (RunTasks) — possibly split
+// across processes or machines as plan shards — and the measurements
+// are merged back into a Profile (MergeShards). The in-process Sweep
+// is exactly the one-shard instance of this pipeline, so merging any
+// shard decomposition reproduces it bit for bit.
+
+// BuildPlan enumerates the sweep grid of kernel k on cfg as a
+// serialisable plan. tag identifies the configuration (the profile
+// cache key); the tasks carry k's content digest so a worker process
+// can verify its catalogue materialises the same kernel before
+// simulating.
+func BuildPlan(tag string, cfg config.Config, k *trace.Kernel, opts SweepOptions) *gridplan.Plan {
+	opts = opts.withDefaults()
+	maxN := cfg.WarpsPerSched
+	if k.MaxWarpsPerSched > 0 && k.MaxWarpsPerSched < maxN {
+		maxN = k.MaxWarpsPerSched
+	}
+	digest := gridplan.KernelDigest(k)
+	plan := &gridplan.Plan{Version: gridplan.PlanVersion}
+	for _, c := range gridplan.Enumerate(maxN, opts.StepN, opts.StepP) {
+		plan.Tasks = append(plan.Tasks, gridplan.Task{
+			Tag: tag, Kernel: k.Name, Digest: digest,
+			N: c.N, P: c.P, Seed: k.Seed,
+		})
+	}
+	return plan
+}
+
+// RunTasks executes plan tasks — typically one shard — and returns
+// their raw measurements in task order. Kernels are resolved by name
+// from the given set and their content digests are verified against
+// the plan before anything simulates. Tasks fan out across
+// opts.Workers goroutines; each in-flight task runs on its own GPU
+// drawn from a shared pool (reset between runs is bit-identical to
+// fresh construction, so reuse cannot perturb results). Measurements
+// are raw: speedups are computed at merge time, because the baseline
+// point may live in another shard.
+func RunTasks(cfg config.Config, kernels map[string]*trace.Kernel, tasks []gridplan.Task, opts SweepOptions) ([]gridplan.Measurement, error) {
+	opts = opts.withDefaults()
+	digests := map[string]string{}
+	for _, t := range tasks {
+		k := kernels[t.Kernel]
+		if k == nil {
+			return nil, fmt.Errorf("profile: plan task %s needs kernel %q, not in the catalogue", t.Key(), t.Kernel)
+		}
+		if t.Digest == "" {
+			continue
+		}
+		d, ok := digests[t.Kernel]
+		if !ok {
+			d = gridplan.KernelDigest(k)
+			digests[t.Kernel] = d
+		}
+		if d != t.Digest {
+			return nil, fmt.Errorf(
+				"profile: kernel %q digest mismatch: plan has %s, catalogue materialises %s (stale plan or drifted catalogue?)",
+				t.Kernel, t.Digest, d)
+		}
+	}
+
+	if opts.FreshGPUs {
+		return mapTasks(kernels, tasks, opts,
+			func() (*sim.GPU, error) { return sim.New(cfg) }, func(*sim.GPU) {})
+	}
+	pool, err := sim.NewPool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return mapTasks(kernels, tasks, opts, pool.Get, pool.Put)
+}
+
+func mapTasks(kernels map[string]*trace.Kernel, tasks []gridplan.Task, opts SweepOptions,
+	get func() (*sim.GPU, error), put func(*sim.GPU)) ([]gridplan.Measurement, error) {
+	return runner.MapSlice(opts.Ctx, opts.Workers, tasks,
+		func(_ context.Context, _ int, t gridplan.Task) (gridplan.Measurement, error) {
+			k := kernels[t.Kernel]
+			g, err := get()
+			if err != nil {
+				return gridplan.Measurement{}, err
+			}
+			res, err := g.Run(k, sim.Fixed{N: t.N, P: t.P}, sim.RunOptions{MaxCycles: opts.MaxCycles})
+			put(g)
+			if err != nil {
+				return gridplan.Measurement{}, fmt.Errorf("profile: point (%d,%d) of %s: %w", t.N, t.P, t.Kernel, err)
+			}
+			return gridplan.Measurement{
+				Tag: t.Tag, Kernel: t.Kernel, N: t.N, P: t.P,
+				IPC:     res.IPC,
+				HitRate: res.L1.HitRate(),
+				AML:     res.AML,
+				Cycles:  res.Cycles, Instructions: res.Instructions,
+			}, nil
+		})
+}
+
+// MergeShards assembles per-shard measurement sets into the kernel's
+// Profile, bit-identical to an in-process Sweep of the same grid: the
+// merged points sort by (N, P) — the order Sweep emits — speedups are
+// normalised against the merged (maxN, maxN) baseline with the same
+// float operation Sweep uses, and the baseline's speedup is exactly 1.
+func MergeShards(kernel string, shards ...[]gridplan.Measurement) (*Profile, error) {
+	ms, err := gridplan.Merge(shards...)
+	if err != nil {
+		return nil, err
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("profile: merging %s: no measurements", kernel)
+	}
+	maxN := 0
+	for _, m := range ms {
+		if m.Kernel != kernel {
+			return nil, fmt.Errorf("profile: merging %s: shard contains measurement for %s", kernel, m.Kernel)
+		}
+		if m.Tag != ms[0].Tag {
+			return nil, fmt.Errorf("profile: merging %s: mixed configuration tags %q and %q", kernel, ms[0].Tag, m.Tag)
+		}
+		if m.N > maxN {
+			maxN = m.N
+		}
+	}
+	var base *gridplan.Measurement
+	for i := range ms {
+		if ms[i].N == maxN && ms[i].P == maxN {
+			base = &ms[i]
+			break
+		}
+	}
+	if base == nil {
+		return nil, fmt.Errorf("profile: merging %s: baseline point (%d,%d) missing from shards", kernel, maxN, maxN)
+	}
+	pr := &Profile{
+		Kernel: kernel, MaxN: maxN,
+		Baseline: Point{
+			N: maxN, P: maxN, IPC: base.IPC, Speedup: 1,
+			HitRate: base.HitRate, AML: base.AML,
+		},
+		BaselineCycles: base.Cycles,
+		BaselineInstr:  base.Instructions,
+	}
+	for _, m := range ms {
+		pt := Point{N: m.N, P: m.P, IPC: m.IPC, HitRate: m.HitRate, AML: m.AML}
+		if m.N == maxN && m.P == maxN {
+			pt.Speedup = 1
+		} else if base.IPC > 0 {
+			pt.Speedup = m.IPC / base.IPC
+		}
+		pr.Points = append(pr.Points, pt)
+	}
+	// gridplan.Merge already ordered by key, which is (N, P) order for a
+	// single (tag, kernel); keep the explicit sort as a guard so the
+	// Profile contract never depends on key formatting.
+	sort.Slice(pr.Points, func(i, j int) bool {
+		if pr.Points[i].N != pr.Points[j].N {
+			return pr.Points[i].N < pr.Points[j].N
+		}
+		return pr.Points[i].P < pr.Points[j].P
+	})
+	return pr, nil
+}
+
+// SweepTag digests the sweep-relevant parts of (configuration, grid
+// resolution) into a short cache tag for standalone (non-harness)
+// sweeps, e.g. the poisesim plan/shard flow. Two processes agreeing on
+// flags agree on the tag, so their plan, shard partials and merged
+// profiles key consistently.
+func SweepTag(cfg config.Config, opts SweepOptions) string {
+	opts = opts.withDefaults()
+	s := fmt.Sprintf("%+v|%d.%d", cfg, opts.StepN, opts.StepP)
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:6])
+}
+
+// Shard partial persistence: one JSONL measurement file per
+// (tag, kernel, shard) in the store directory, merged back into the
+// regular profile cache entry by MergeSavedShards.
+
+func (s Store) shardPath(tag, kernel string, index, count int) string {
+	return filepath.Join(s.Dir, fmt.Sprintf("%s_%s.shard%03dof%03d.jsonl", tag, kernel, index, count))
+}
+
+// SaveShard persists one shard's measurements for (tag, kernel) and
+// returns the file path.
+func (s Store) SaveShard(tag, kernel string, index, count int, ms []gridplan.Measurement) (string, error) {
+	if s.Dir == "" {
+		return "", fmt.Errorf("profile: store has no directory for shard partials")
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return "", err
+	}
+	path := s.shardPath(tag, kernel, index, count)
+	if err := gridplan.WriteMeasurementsFile(path, index, count, ms); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadShards reads every persisted shard partial for (tag, kernel),
+// in sorted file order. It returns os.ErrNotExist when none are
+// present.
+func (s Store) LoadShards(tag, kernel string) ([][]gridplan.Measurement, error) {
+	if s.Dir == "" {
+		return nil, os.ErrNotExist
+	}
+	files, err := filepath.Glob(filepath.Join(s.Dir, fmt.Sprintf("%s_%s.shard*.jsonl", tag, kernel)))
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("profile: no shard partials for %s/%s in %s: %w", tag, kernel, s.Dir, os.ErrNotExist)
+	}
+	sort.Strings(files)
+	var shards [][]gridplan.Measurement
+	for _, f := range files {
+		ms, err := gridplan.ReadMeasurementsFile(f)
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, ms)
+	}
+	return shards, nil
+}
+
+// MergeSavedShards merges every persisted shard partial of
+// (tag, kernel) into a full Profile, verifies it against plan when one
+// is given (exact task coverage — a lost shard fails loudly), caches
+// it as the regular profile entry, and returns it.
+func (s Store) MergeSavedShards(tag, kernel string, plan *gridplan.Plan) (*Profile, error) {
+	shards, err := s.LoadShards(tag, kernel)
+	if err != nil {
+		return nil, err
+	}
+	if plan != nil {
+		var sub gridplan.Plan
+		for _, t := range plan.Tasks {
+			if t.Tag == tag && t.Kernel == kernel {
+				sub.Tasks = append(sub.Tasks, t)
+			}
+		}
+		merged, err := gridplan.Merge(shards...)
+		if err != nil {
+			return nil, err
+		}
+		if err := sub.Verify(merged); err != nil {
+			return nil, err
+		}
+	}
+	pr, err := MergeShards(kernel, shards...)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Save(tag, pr); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}

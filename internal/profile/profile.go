@@ -13,11 +13,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"sort"
 
 	"poise/internal/config"
-	"poise/internal/runner"
-	"poise/internal/sim"
 	"poise/internal/trace"
 )
 
@@ -85,11 +82,17 @@ type SweepOptions struct {
 	// MaxCycles guards each run.
 	MaxCycles int64
 	// Workers bounds the concurrent point simulations (<= 0 means
-	// GOMAXPROCS, 1 forces sequential). Every grid point runs on its
-	// own GPU, so the profile is bit-identical at any worker count.
+	// GOMAXPROCS, 1 forces sequential). Every in-flight point runs on
+	// its own GPU, so the profile is bit-identical at any worker count.
 	Workers int
 	// Ctx cancels an in-flight sweep (nil = context.Background()).
 	Ctx context.Context
+	// FreshGPUs disables the worker-pinned GPU pool and builds a fresh
+	// GPU per grid point (the pre-pool behaviour). Results are
+	// bit-identical either way — the pool's Reset is verified against
+	// fresh construction — so this exists only as a cross-check and for
+	// the allocation benchmarks.
+	FreshGPUs bool
 }
 
 func (o SweepOptions) withDefaults() SweepOptions {
@@ -105,93 +108,23 @@ func (o SweepOptions) withDefaults() SweepOptions {
 // Sweep profiles kernel k across the {N, p} space on the given
 // configuration. The kernel runs once per grid point; speedups are
 // relative to the (max, max) GTO tuple. Points run concurrently on
-// opts.Workers goroutines, each on its own GPU: a kernel run is a pure
-// function of (config, kernel, tuple), so the profile is bit-identical
-// at any worker count.
+// opts.Workers goroutines, each in-flight point on its own GPU drawn
+// from a reset-verified pool: a kernel run is a pure function of
+// (config, kernel, tuple), so the profile is bit-identical at any
+// worker count.
+//
+// Sweep is exactly the one-shard instance of the plan pipeline
+// (BuildPlan -> RunTasks -> MergeShards), so a sweep fanned out as
+// plan shards across processes merges to the same Profile bit for bit
+// — the property TestShardedSweepMatchesInProcess pins down.
 func Sweep(cfg config.Config, k *trace.Kernel, opts SweepOptions) (*Profile, error) {
 	opts = opts.withDefaults()
-	maxN := cfg.WarpsPerSched
-	if k.MaxWarpsPerSched > 0 && k.MaxWarpsPerSched < maxN {
-		maxN = k.MaxWarpsPerSched
-	}
-
-	runAt := func(n, p int) (Point, sim.KernelResult, error) {
-		g, err := sim.New(cfg)
-		if err != nil {
-			return Point{}, sim.KernelResult{}, err
-		}
-		res, err := g.Run(k, sim.Fixed{N: n, P: p}, sim.RunOptions{MaxCycles: opts.MaxCycles})
-		if err != nil {
-			return Point{}, res, err
-		}
-		return Point{
-			N: n, P: p,
-			IPC:     res.IPC,
-			HitRate: res.L1.HitRate(),
-			AML:     res.AML,
-		}, res, nil
-	}
-
-	base, baseRes, err := runAt(maxN, maxN)
-	if err != nil {
-		return nil, fmt.Errorf("profile: baseline run: %w", err)
-	}
-	base.Speedup = 1
-	pr := &Profile{
-		Kernel: k.Name, MaxN: maxN, Baseline: base,
-		BaselineCycles: baseRes.Cycles,
-		BaselineInstr:  baseRes.Instructions,
-	}
-
-	// Enumerate the grid first (dedup'd, deterministic order), then fan
-	// the runs out.
-	var grid [][2]int
-	seen := map[[2]int]bool{}
-	add := func(n, p int) {
-		if n < 1 || p < 1 || p > n || n > maxN || seen[[2]int{n, p}] {
-			return
-		}
-		seen[[2]int{n, p}] = true
-		grid = append(grid, [2]int{n, p})
-	}
-	for n := 1; n <= maxN; n += opts.StepN {
-		for p := 1; p <= n; p += opts.StepP {
-			add(n, p)
-		}
-		// Always close the diagonal and the column top.
-		add(n, n)
-	}
-	// Ensure the corner rows/columns the paper's figures reference.
-	for _, pt := range [][2]int{{maxN, maxN}, {maxN, 1}, {1, 1}} {
-		add(pt[0], pt[1])
-	}
-
-	points, err := runner.MapSlice(opts.Ctx, opts.Workers, grid,
-		func(_ context.Context, _ int, np [2]int) (Point, error) {
-			n, p := np[0], np[1]
-			if n == maxN && p == maxN {
-				return base, nil
-			}
-			pt, _, err := runAt(n, p)
-			if err != nil {
-				return Point{}, fmt.Errorf("profile: point (%d,%d): %w", n, p, err)
-			}
-			if base.IPC > 0 {
-				pt.Speedup = pt.IPC / base.IPC
-			}
-			return pt, nil
-		})
+	plan := BuildPlan("", cfg, k, opts)
+	ms, err := RunTasks(cfg, map[string]*trace.Kernel{k.Name: k}, plan.Tasks, opts)
 	if err != nil {
 		return nil, err
 	}
-	pr.Points = points
-	sort.Slice(pr.Points, func(i, j int) bool {
-		if pr.Points[i].N != pr.Points[j].N {
-			return pr.Points[i].N < pr.Points[j].N
-		}
-		return pr.Points[i].P < pr.Points[j].P
-	})
-	return pr, nil
+	return MergeShards(k.Name, ms)
 }
 
 // Score implements the paper's Eq. 12 neighbourhood scoring at point
@@ -266,7 +199,14 @@ func (s Store) path(tag, kernel string) string {
 	return filepath.Join(s.Dir, fmt.Sprintf("%s_%s.json", tag, kernel))
 }
 
-// Load reads a cached profile; it returns os.ErrNotExist if absent.
+// ErrCorrupt tags cache entries that exist but cannot be decoded
+// (truncated writes, garbled JSON). Callers distinguish it from
+// os.ErrNotExist with errors.Is; LoadOrSweep treats both as "no usable
+// cache entry" and re-sweeps.
+var ErrCorrupt = errors.New("corrupt profile cache entry")
+
+// Load reads a cached profile; it returns os.ErrNotExist if absent and
+// an ErrCorrupt-wrapping error if present but undecodable.
 func (s Store) Load(tag, kernel string) (*Profile, error) {
 	if s.Dir == "" {
 		return nil, os.ErrNotExist
@@ -277,7 +217,10 @@ func (s Store) Load(tag, kernel string) (*Profile, error) {
 	}
 	var pr Profile
 	if err := json.Unmarshal(data, &pr); err != nil {
-		return nil, fmt.Errorf("profile: corrupt cache %s: %w", s.path(tag, kernel), err)
+		return nil, fmt.Errorf("profile: %s: %w (%v)", s.path(tag, kernel), ErrCorrupt, err)
+	}
+	if pr.Kernel == "" || len(pr.Points) == 0 {
+		return nil, fmt.Errorf("profile: %s: %w (decoded to an empty profile)", s.path(tag, kernel), ErrCorrupt)
 	}
 	return &pr, nil
 }
@@ -298,7 +241,9 @@ func (s Store) Save(tag string, pr *Profile) error {
 }
 
 // LoadOrSweep returns the cached profile or runs the sweep and caches
-// it.
+// it. A corrupt cache entry (ErrCorrupt) is treated like a miss: the
+// sweep re-runs and Save overwrites the damaged file, so a truncated
+// write from a crashed run can never abort later runs.
 func (s Store) LoadOrSweep(tag string, cfg config.Config, k *trace.Kernel, opts SweepOptions) (*Profile, error) {
 	if pr, err := s.Load(tag, k.Name); err == nil {
 		return pr, nil

@@ -124,6 +124,39 @@ func New(cfg config.Config) (*GPU, error) {
 	return g, nil
 }
 
+// Reset restores the GPU to its just-constructed state so it can be
+// reused for another run (see Pool). Every layer resets in place:
+// SMs (schedulers, L1, MSHRs, counters), L2 banks, crossbar, DRAM and
+// the event heap. The invariant — enforced by TestPoolResetBitIdentical
+// with reflect.DeepEqual against a freshly built GPU — is that no
+// trace of a previous kernel survives, so a pooled GPU produces
+// bit-identical results to a fresh one. The large fixed-size arrays
+// (cache tag stores, warp slots, port/partition servers) are zeroed in
+// place, which is where the pool's allocation savings come from; the
+// small per-run slices go back to nil to match fresh construction
+// exactly.
+func (g *GPU) Reset() {
+	for _, s := range g.SMs {
+		s.Reset()
+	}
+	g.NoC.Reset()
+	g.DRAM.Reset()
+	for i := range g.banks {
+		g.banks[i].nextFree = 0
+		g.banks[i].c.Reset()
+	}
+	g.events = eventHeap{}
+	g.now = 0
+	g.kernel = nil
+	g.bodyLen = 0
+	g.nextBlk = 0
+	g.doneWarp = 0
+	g.total = 0
+	g.L2Accesses, g.L2Hits = 0, 0
+	g.TraceTuples = false
+	g.TupleLog = nil
+}
+
 // Now returns the current simulation cycle.
 func (g *GPU) Now() int64 { return g.now }
 

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"sync"
+
+	"poise/internal/config"
+)
+
+// Pool recycles GPU instances across simulation tasks. Building a GPU
+// allocates the whole memory hierarchy (per-SM tag stores, warp slots,
+// MSHR files, L2 banks, DRAM servers); a large profile sweep that
+// builds one per grid point spends a measurable slice of its wall
+// clock in the allocator and GC. A Pool instead keeps one GPU per
+// in-flight worker and resets it between runs.
+//
+// Correctness rests on a single invariant: Put resets the GPU to a
+// state reflect.DeepEqual-identical to fresh construction (verified by
+// TestPoolResetBitIdentical), so a recycled GPU cannot perturb a
+// simulation — sweeps through a Pool are bit-identical to
+// fresh-GPU-per-point sweeps at any worker count and reuse order.
+//
+// Pool is safe for concurrent use; under runner.Map each worker
+// effectively pins one GPU and reuses it task after task, which is
+// the per-worker reuse pattern large sweeps want.
+type Pool struct {
+	cfg config.Config
+
+	mu   sync.Mutex
+	free []*GPU
+
+	builds int64
+	reuses int64
+}
+
+// NewPool builds a pool that constructs GPUs with New(cfg) on demand.
+// The configuration is validated eagerly so a bad one fails at pool
+// construction, not on some worker's first Get.
+func NewPool(cfg config.Config) (*Pool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Pool{cfg: cfg}, nil
+}
+
+// Get returns a fresh-state GPU, recycling a parked one when available.
+func (p *Pool) Get() (*GPU, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		g := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.reuses++
+		p.mu.Unlock()
+		return g, nil
+	}
+	p.builds++
+	p.mu.Unlock()
+	return New(p.cfg)
+}
+
+// Put resets g to its fresh-construction state and parks it for
+// reuse. Putting a GPU that is still running is a caller bug.
+func (p *Pool) Put(g *GPU) {
+	if g == nil {
+		return
+	}
+	g.Reset()
+	p.mu.Lock()
+	p.free = append(p.free, g)
+	p.mu.Unlock()
+}
+
+// Idle returns how many reset GPUs are parked.
+func (p *Pool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Stats reports construction vs reuse counts: on a large sweep builds
+// converges to the worker count while reuses approaches the grid size.
+func (p *Pool) Stats() (builds, reuses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.builds, p.reuses
+}

@@ -1,0 +1,111 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"poise/internal/sched"
+	"poise/internal/sim"
+	"poise/internal/testutil"
+)
+
+// TestPoolResetBitIdentical is the GPU pool's load-bearing invariant:
+// after any sequence of runs — including policies that mutate GPU-side
+// state beyond plain execution (CCWS attaches victim tag arrays to the
+// L1, APCM installs bypass tables) and tuple tracing — Reset must
+// leave the GPU reflect.DeepEqual-identical to a freshly constructed
+// one. DeepEqual inspects unexported fields through the whole object
+// graph (caches, MSHR maps, schedulers, warp slots, event heap), so
+// this is a bit-level fresh-state check, not a behavioural smoke test.
+func TestPoolResetBitIdentical(t *testing.T) {
+	cfg := testutil.TinyConfig()
+	fresh, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, used) {
+		t.Fatal("two fresh GPUs must start identical (test precondition)")
+	}
+
+	k := testutil.ThrashKernel("poolreset", 24, 20, 4)
+	used.TraceTuples = true
+	for _, pol := range []sim.Policy{
+		sim.GTO{},
+		sched.NewCCWS(200),
+		sched.NewAPCM(200),
+		sim.Fixed{N: 3, P: 1},
+	} {
+		if _, err := used.Run(k, pol, sim.RunOptions{}); err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+	}
+	if reflect.DeepEqual(fresh, used) {
+		t.Fatal("running kernels must dirty the GPU (test precondition)")
+	}
+
+	used.Reset()
+	if !reflect.DeepEqual(fresh, used) {
+		t.Fatal("Reset GPU differs from fresh construction")
+	}
+
+	// And the reset GPU must simulate identically to a fresh one.
+	resFresh, err := fresh.Run(k, sim.GTO{}, sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resReset, err := used.Run(k, sim.GTO{}, sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resFresh, resReset) {
+		t.Fatalf("reset GPU diverged from fresh GPU:\nfresh %+v\nreset %+v", resFresh, resReset)
+	}
+}
+
+// TestPoolRecycles checks the pool mechanics: Get prefers parked GPUs,
+// Put resets before parking, and sequential Get/Put reuses one GPU.
+func TestPoolRecycles(t *testing.T) {
+	pool, err := sim.NewPool(testutil.TinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testutil.ThrashKernel("poolrun", 16, 10, 2)
+
+	var first *sim.GPU
+	for i := 0; i < 5; i++ {
+		g, err := pool.Get()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = g
+		} else if g != first {
+			t.Fatal("sequential Get/Put must reuse the same GPU")
+		}
+		if _, err := g.Run(k, sim.GTO{}, sim.RunOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		pool.Put(g)
+	}
+	builds, reuses := pool.Stats()
+	if builds != 1 || reuses != 4 {
+		t.Fatalf("builds=%d reuses=%d, want 1 build and 4 reuses", builds, reuses)
+	}
+	if pool.Idle() != 1 {
+		t.Fatalf("idle=%d, want 1", pool.Idle())
+	}
+}
+
+// TestPoolRejectsBadConfig: a pool with an invalid configuration fails
+// at construction, not on a worker's first Get.
+func TestPoolRejectsBadConfig(t *testing.T) {
+	cfg := testutil.TinyConfig()
+	cfg.NumSMs = 0
+	if _, err := sim.NewPool(cfg); err == nil {
+		t.Fatal("invalid config must fail NewPool")
+	}
+}

@@ -36,6 +36,24 @@ func (w *Workload) Validate() error {
 	return nil
 }
 
+// DistinctKernels returns the kernels of ws deduplicated by name, in
+// first-appearance order — the canonical kernel set for profile
+// sweeps and sweep plans (a name can appear in several workloads; the
+// first occurrence wins, matching catalogue shadowing semantics).
+func DistinctKernels(ws []*Workload) []*trace.Kernel {
+	var kernels []*trace.Kernel
+	seen := map[string]bool{}
+	for _, w := range ws {
+		for _, k := range w.Kernels {
+			if !seen[k.Name] {
+				seen[k.Name] = true
+				kernels = append(kernels, k)
+			}
+		}
+	}
+	return kernels
+}
+
 // WorkloadResult aggregates a workload run.
 type WorkloadResult struct {
 	Workload string

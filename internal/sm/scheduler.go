@@ -42,6 +42,23 @@ func NewScheduler(id, capacity int) *Scheduler {
 // Capacity returns the number of warp slots.
 func (s *Scheduler) Capacity() int { return len(s.Slots) }
 
+// Reset restores the scheduler to its just-constructed state: empty
+// slots, maximum tuple, zeroed age order, greedy pointer and
+// statistics. The GPU pool relies on Reset leaving state
+// reflect.DeepEqual-identical to NewScheduler (which is why the small
+// dynamic slices go back to nil instead of being truncated in place).
+func (s *Scheduler) Reset() {
+	for i := range s.Slots {
+		s.Slots[i].Reset()
+	}
+	s.ageOrder = nil
+	s.dispatchSeq = 0
+	s.current = -1
+	s.n, s.p = len(s.Slots), len(s.Slots)
+	s.wakeHint = 0
+	s.IssueCycles, s.StallCycles, s.IdleCycles = 0, 0, 0
+}
+
 // ActiveWarps returns the number of live warps.
 func (s *Scheduler) ActiveWarps() int { return len(s.ageOrder) }
 

@@ -100,6 +100,25 @@ func NewSM(id int, cfg config.Config) (*SM, error) {
 	return s, nil
 }
 
+// Reset restores the SM to its just-constructed state: schedulers,
+// L1, MSHR file, counters and per-kernel tables all as NewSM left
+// them. The GPU pool relies on Reset leaving state
+// reflect.DeepEqual-identical to fresh construction (nil per-kernel
+// tables rather than emptied ones), so reusing a pooled SM can never
+// perturb a simulation.
+func (s *SM) Reset() {
+	for _, sch := range s.Scheds {
+		sch.Reset()
+	}
+	s.L1.Reset()
+	s.MSHR.Clear()
+	s.C = Counters{}
+	s.PCLoads = nil
+	s.PCHits = nil
+	s.BypassPC = nil
+	s.ReplayQ = nil
+}
+
 // SetTuple applies the warp-tuple to every scheduler of this SM.
 func (s *SM) SetTuple(n, p int) {
 	for _, sch := range s.Scheds {

@@ -83,6 +83,7 @@ func LoadWorkloads(path string) ([]*sim.Workload, error) {
 		if err != nil {
 			return nil, fmt.Errorf("traceio: %w", err)
 		}
+		var names []string
 		for _, e := range entries {
 			if e.IsDir() {
 				continue
@@ -90,10 +91,19 @@ func LoadWorkloads(path string) ([]*sim.Workload, error) {
 			name := e.Name()
 			if strings.HasSuffix(name, ".ptrace") || strings.HasSuffix(name, ".ptrace.gz") ||
 				strings.HasSuffix(name, ".trace") {
-				files = append(files, filepath.Join(path, name))
+				names = append(names, name)
 			}
 		}
-		sort.Strings(files)
+		// Walk in sorted file-name order, not directory iteration order:
+		// catalogue insertion order determines the evaluation-set order
+		// and the experiment cache tags, so it must be identical across
+		// filesystems and platforms. The contract is pinned here (and by
+		// TestLoadWorkloadsDirectorySortedWalk) rather than inherited
+		// from whatever the directory listing happens to return.
+		sort.Strings(names)
+		for _, name := range names {
+			files = append(files, filepath.Join(path, name))
+		}
 		if len(files) == 0 {
 			return nil, fmt.Errorf("traceio: no trace files (*.ptrace, *.ptrace.gz, *.trace) in %s", path)
 		}

@@ -1,0 +1,112 @@
+package traceio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"poise/internal/sim"
+)
+
+// namedMini clones the mini workload under a different name so a
+// directory can hold several distinct traces.
+func namedMini(name string) *sim.Workload {
+	w := miniWorkload()
+	out := &sim.Workload{Name: name, MemorySensitive: w.MemorySensitive}
+	for i, k := range w.Kernels {
+		kc := *k
+		kc.Name = name + "#" + string(rune('0'+i))
+		out.Kernels = append(out.Kernels, &kc)
+	}
+	return out
+}
+
+// TestLoadWorkloadsDirectorySortedWalk pins the directory-walk
+// contract: workloads load in sorted file-name order regardless of
+// the order the files were created in (directory iteration order
+// follows creation order on some filesystems), because catalogue
+// insertion order feeds the evaluation-set order and the experiment
+// cache tags.
+func TestLoadWorkloadsDirectorySortedWalk(t *testing.T) {
+	dir := t.TempDir()
+	// Deliberately created in an order that differs from name order,
+	// with names whose sort order differs from creation order across
+	// all three accepted extensions.
+	creation := []struct{ file, workload string }{
+		{"zeta.ptrace", "zeta"},
+		{"alpha.ptrace.gz", "alpha"},
+		{"mid.ptrace", "mid"},
+		{"beta.ptrace", "beta"},
+	}
+	for _, c := range creation {
+		tr, err := Record(namedMini(c.workload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFile(filepath.Join(dir, c.file), tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Distractors that must be ignored: a subdirectory and an unrelated
+	// extension.
+	if err := os.Mkdir(filepath.Join(dir, "aaa-subdir"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "aaa-notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ws, err := LoadWorkloads(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "beta", "mid", "zeta"} // file-name sorted
+	if len(ws) != len(want) {
+		t.Fatalf("loaded %d workloads, want %d", len(ws), len(want))
+	}
+	for i, name := range want {
+		if ws[i].Name != name {
+			got := make([]string, len(ws))
+			for j, w := range ws {
+				got[j] = w.Name
+			}
+			t.Fatalf("workload order %v, want %v (sorted by file name)", got, want)
+		}
+	}
+
+	// And the order must be stable across repeated loads.
+	again, err := LoadWorkloads(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ws {
+		if ws[i].Name != again[i].Name {
+			t.Fatal("directory load order must be deterministic across calls")
+		}
+	}
+}
+
+// The kernels of a workload must replay identically whether the trace
+// was loaded alone or as part of a directory (no cross-file state).
+func TestLoadWorkloadsDirectoryMatchesSingle(t *testing.T) {
+	dir := t.TempDir()
+	tr := mustRecord(t, namedMini("solo"))
+	path := filepath.Join(dir, "solo.ptrace")
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	single, err := LoadWorkloads(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromDir, err := LoadWorkloads(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single) != 1 || len(fromDir) != 1 {
+		t.Fatal("expected one workload from each load")
+	}
+	if single[0].Name != fromDir[0].Name || len(single[0].Kernels) != len(fromDir[0].Kernels) {
+		t.Fatal("directory load differs from single-file load")
+	}
+}
