@@ -18,6 +18,21 @@
 // simplified Accel-Sim kernel traces; a file or directory) and
 // appends them to the evaluation set, so profile sweeps and the
 // figure/table experiments run over real traces unchanged.
+//
+// Sharded campaigns (-emit-plan / -shard i/N / -merge-shards) cover
+// both plan kinds. With -run all they split the profile sweeps (the
+// PR-3 flow); with -run naming one grid-backed experiment they split
+// that experiment's workload x scheme cell grid:
+//
+//	poisebench -run fig7 -cache c -emit-plan cells.jsonl   # document/ship
+//	poisebench -run fig7 -cache c -shard 0/2               # worker 0
+//	poisebench -run fig7 -cache c -shard 1/2               # worker 1
+//	poisebench -run fig7 -cache c -merge-shards            # coordinator
+//	poisebench -run fig7 -cache c                          # loads merged cells
+//
+// Merging any shard split is reflect.DeepEqual-identical to the
+// in-process grid, so the final tables are byte-identical to an
+// unsharded run with the cache disabled (CI asserts exactly that).
 package main
 
 import (
@@ -69,13 +84,17 @@ func main() {
 		listExp  = flag.Bool("listexp", false, "list experiments and exit")
 		tracePth = flag.String("trace", "", "ingest trace workloads (a .ptrace/.ptrace.gz/.trace file or a directory) into the evaluation set")
 
-		// Sharded sweep flow: -emit-plan documents/ships the profile
-		// sweep plan; -shard i/N runs this process's slice and persists
-		// partials in -cache; -merge-shards folds the partials into the
-		// regular profile cache, after which normal runs load them.
-		emitPlan = flag.String("emit-plan", "", "write the evaluation sweep plan as JSONL to this file and exit")
-		shardStr = flag.String("shard", "", "run shard i/N of the evaluation sweeps, persist partials in -cache, and exit (format \"i/N\")")
-		mergeSh  = flag.Bool("merge-shards", false, "merge shard partials in -cache into full cached profiles and exit")
+		// Sharded campaign flow. With -run all (the default) the three
+		// flags drive the profile-sweep plan; with -run naming one
+		// grid-backed experiment (fig7, fig11, fig12, fig13, fig15,
+		// fig16, tableiii) they drive that experiment's workload x
+		// scheme cell grid instead: -emit-plan documents/ships the plan;
+		// -shard i/N runs this process's slice and persists partials in
+		// -cache; -merge-shards folds the partials into the cache, after
+		// which normal runs load them instead of simulating.
+		emitPlan = flag.String("emit-plan", "", "write the profile sweep plan (-run all) or one experiment's cell grid plan (-run <exp>) as JSONL to this file and exit")
+		shardStr = flag.String("shard", "", "run shard i/N of the profile sweeps or of -run's experiment grid, persist partials in -cache, and exit (format \"i/N\")")
+		mergeSh  = flag.Bool("merge-shards", false, "merge shard partials in -cache into full cached profiles (-run all) or merged experiment cells (-run <exp>) and exit")
 	)
 	flag.Parse()
 
@@ -123,7 +142,7 @@ func main() {
 	h := experiments.NewHarness(opt)
 
 	if *emitPlan != "" || *shardStr != "" || *mergeSh {
-		if err := runShardMode(h, *emitPlan, *shardStr, *mergeSh); err != nil {
+		if err := runShardMode(h, *run, *emitPlan, *shardStr, *mergeSh); err != nil {
 			fmt.Fprintln(os.Stderr, "poisebench:", err)
 			os.Exit(1)
 		}
@@ -410,12 +429,64 @@ func runCost(h *experiments.Harness) error {
 	return nil
 }
 
-// runShardMode executes the sharded-sweep subcommands. Exactly one of
-// the three is active per invocation (emit, then shard workers, then
-// merge — each typically a separate process).
-func runShardMode(h *experiments.Harness, emitPlan, shard string, merge bool) error {
+// gridForExp maps the grid-backed experiment names to their
+// experiment grid (fig7 covers Figs. 7-10 and 14, which share one
+// grid).
+var gridForExp = map[string]string{
+	"fig7":     "scheme",
+	"fig11":    "stride",
+	"fig12":    "cachesize",
+	"fig13":    "ablation",
+	"fig15":    "alternatives",
+	"fig16":    "compute",
+	"tableiii": "pbest",
+}
+
+func gridBackedNames() string {
+	var names []string
+	for _, r := range runners {
+		if _, ok := gridForExp[r.name]; ok {
+			names = append(names, r.name)
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// runShardMode executes the sharded-campaign subcommands. Exactly one
+// of the three is active per invocation (emit, then shard workers,
+// then merge — each typically a separate process); -run selects the
+// profile-sweep plan ("all") or one experiment's cell grid.
+func runShardMode(h *experiments.Harness, run, emitPlan, shard string, merge bool) error {
+	run = strings.TrimSpace(strings.ToLower(run))
+	grid := ""
+	if run != "all" {
+		if strings.Contains(run, ",") {
+			return fmt.Errorf("-emit-plan/-shard/-merge-shards take a single experiment in -run, got %q", run)
+		}
+		var ok bool
+		if grid, ok = gridForExp[run]; !ok {
+			return fmt.Errorf("experiment %q is not grid-backed; use -run all for profile sweeps, or one of: %s",
+				run, gridBackedNames())
+		}
+	}
 	switch {
 	case emitPlan != "":
+		if grid != "" {
+			plan, err := h.CellPlan(grid)
+			if err != nil {
+				return err
+			}
+			if len(plan.Cells) == 0 {
+				return fmt.Errorf("grid %s enumerated no cells", grid)
+			}
+			plan.Sort()
+			if err := gridplan.WriteCellPlanFile(emitPlan, plan); err != nil {
+				return err
+			}
+			fmt.Printf("cell plan %s: %d cells of grid %s (tag %s)\n",
+				emitPlan, len(plan.Cells), grid, plan.Cells[0].Tag)
+			return nil
+		}
 		plan, err := h.EvalPlan()
 		if err != nil {
 			return err
@@ -426,6 +497,14 @@ func runShardMode(h *experiments.Harness, emitPlan, shard string, merge bool) er
 		}
 		fmt.Printf("plan %s: %d tasks over %d kernels\n", emitPlan, len(plan.Tasks), len(plan.Kernels()))
 	case shard != "":
+		if grid != "" {
+			f, err := h.RunCellShard(grid)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("shard %s of grid %s -> %s\n", shard, grid, f)
+			return nil
+		}
 		files, err := h.RunShard()
 		if err != nil {
 			return err
@@ -435,6 +514,14 @@ func runShardMode(h *experiments.Harness, emitPlan, shard string, merge bool) er
 		}
 		fmt.Printf("shard %s: %d partial files\n", shard, len(files))
 	case merge:
+		if grid != "" {
+			n, err := h.MergeCellPartials(grid)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("merged %d cells of grid %s into the cache\n", n, grid)
+			return nil
+		}
 		names, err := h.MergeShardPartials()
 		if err != nil {
 			return err

@@ -41,6 +41,22 @@
 //
 // Merging any shard split is byte-identical to the in-process sweep
 // (-sweep), which CI asserts with a directory diff.
+//
+// The same flags also execute experiment-grid cell plans (workload x
+// scheme grids emitted by `poisebench -run fig7 -emit-plan ...`): the
+// plan file's header selects the pipeline, -shard runs the slice of
+// cells, and -merge-shards writes the merged cells into -profile-out,
+// which poisebench loads as its -cache:
+//
+//	poisebench -run fig16 -emit-plan cells.jsonl -cache c
+//	poisesim -plan cells.jsonl -shard 0/2 -shard-out c0.jsonl
+//	poisesim -plan cells.jsonl -shard 1/2 -shard-out c1.jsonl
+//	poisesim -plan cells.jsonl -merge-shards c0.jsonl,c1.jsonl -profile-out c
+//	poisebench -run fig16 -cache c      # assembles the figure from the cells
+//
+// Worker flags must reproduce the coordinator's configuration (-sms,
+// -size, -seed, -stepn/-stepp); the plan's configuration tag and
+// workload digests are verified first, so mismatches fail fast.
 package main
 
 import (
@@ -89,6 +105,8 @@ func main() {
 		sweepRun = flag.Bool("sweep", false, "run an in-process sweep of the selected workloads and save profiles under -profile-out (the unsharded reference)")
 		stepN    = flag.Int("stepn", 2, "sweep grid N step for the plan/sweep modes")
 		stepP    = flag.Int("stepp", 2, "sweep grid p step for the plan/sweep modes")
+		cacheDir = flag.String("cache", "", "profile cache directory for cell-plan shards ('' = none; share one across workers and with the poisebench coordinator so profile-hungry grids sweep once)")
+		seeds    = flag.Int("seeds", 3, "random-restart trials for alternatives-grid (fig15) cell plans; must match the coordinator's -seeds")
 	)
 	flag.Parse()
 
@@ -100,11 +118,13 @@ func main() {
 	})
 
 	cat := workloads.NewCatalogueSeeded(parseSize(*size), *seed)
+	var extra []*sim.Workload
 	if *tracePth != "" {
 		ws, err := traceio.LoadWorkloads(*tracePth)
 		if err != nil {
 			fatal(err)
 		}
+		extra = ws
 		for _, w := range ws {
 			cat.Put(w)
 		}
@@ -171,6 +191,8 @@ func main() {
 			emitPlan: *emitPlan, planPath: *planPth,
 			shard: *shardStr, shardOut: *shardOut,
 			merge: *mergeStr, profileDir: *profDir, sweep: *sweepRun,
+			sms: *sms, size: parseSize(*size),
+			cacheDir: *cacheDir, seeds: *seeds, extra: extra,
 			stepN: *stepN, stepP: *stepP, workers: *parallel, seed: *seed,
 		})
 		return

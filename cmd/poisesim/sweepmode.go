@@ -3,19 +3,20 @@ package main
 import (
 	"context"
 	"fmt"
-	"strings"
 
 	"poise/internal/config"
+	"poise/internal/experiments"
 	"poise/internal/gridplan"
 	"poise/internal/profile"
+	"poise/internal/results"
 	"poise/internal/sim"
 	"poise/internal/trace"
 	"poise/internal/workloads"
 )
 
-// The sharded sweep flow, file-based so each step can run in a
+// The sharded campaign flow, file-based so each step can run in a
 // different process (or on a different machine — ship the plan out,
-// ship the shard partials back):
+// ship the shard partials back). Profile sweep plans:
 //
 //	poisesim -workload ii -emit-plan plan.jsonl            # coordinator
 //	poisesim -plan plan.jsonl -shard 0/2 -shard-out s0.jsonl   # worker 0
@@ -25,6 +26,15 @@ import (
 // -sweep writes the unsharded reference profiles for the same grid, so
 // `diff -r` between the two output directories proves the shard path
 // bit-identical (CI does exactly that).
+//
+// The same -plan/-shard/-merge-shards flags accept experiment-grid
+// cell plans emitted by `poisebench -run <exp> -emit-plan` (the file's
+// header says which kind it is): -shard runs the slice of workload x
+// scheme cells through the experiment harness, and -merge-shards
+// writes the merged cells into -profile-out, which poisebench then
+// loads as its -cache. The worker's flags must reproduce the
+// coordinator's configuration — the plan carries the configuration tag
+// and workload digests, and mismatches fail before anything simulates.
 
 type sweepModeArgs struct {
 	cfg      config.Config
@@ -40,9 +50,32 @@ type sweepModeArgs struct {
 	profileDir string
 	sweep      bool
 
+	sms          int
+	size         workloads.Size
+	cacheDir     string
+	seeds        int
+	extra        []*sim.Workload
 	stepN, stepP int
 	workers      int
 	seed         int64
+}
+
+// harness builds the experiment harness a cell plan's shard runs on,
+// from the worker's own flags (tag agreement with the coordinator is
+// verified against the plan before simulating). -cache shares the
+// profile store across workers so profile-hungry grids (the scheme
+// comparison's SWL/Static-Best cells, the ablation grid's training
+// sweeps) pay for their sweeps once per campaign instead of once per
+// shard; -trace workloads join the harness catalogue exactly as they
+// do on the poisebench coordinator.
+func (a sweepModeArgs) harness() *experiments.Harness {
+	return experiments.NewHarness(experiments.Options{
+		SMs: a.sms, Size: a.size, Seed: a.seed,
+		CacheDir: a.cacheDir, RandomSeeds: a.seeds,
+		EvalStepN: a.stepN, EvalStepP: a.stepP,
+		Workers: a.workers, Ctx: a.ctx,
+		ExtraWorkloads: a.extra,
+	})
 }
 
 func runSweepMode(a sweepModeArgs) {
@@ -82,6 +115,10 @@ func runSweepMode(a sweepModeArgs) {
 		if a.planPath == "" || a.shardOut == "" {
 			fatal(fmt.Errorf("-shard needs -plan and -shard-out"))
 		}
+		if planFormat(a.planPath) == gridplan.CellPlanFormat {
+			runCellShard(a, index, count)
+			return
+		}
 		plan, err := gridplan.ReadPlanFile(a.planPath)
 		if err != nil {
 			fatal(err)
@@ -104,15 +141,20 @@ func runSweepMode(a sweepModeArgs) {
 		if a.planPath == "" || a.profileDir == "" {
 			fatal(fmt.Errorf("-merge-shards needs -plan and -profile-out"))
 		}
+		files, err := gridplan.SplitFiles(a.merge)
+		if err != nil {
+			fatal(fmt.Errorf("-merge-shards: %w", err))
+		}
+		if planFormat(a.planPath) == gridplan.CellPlanFormat {
+			mergeCellShards(a, files)
+			return
+		}
 		plan, err := gridplan.ReadPlanFile(a.planPath)
 		if err != nil {
 			fatal(err)
 		}
 		var shards [][]gridplan.Measurement
-		for _, f := range strings.Split(a.merge, ",") {
-			if f = strings.TrimSpace(f); f == "" {
-				continue
-			}
+		for _, f := range files {
 			ms, err := gridplan.ReadMeasurementsFile(f)
 			if err != nil {
 				fatal(err)
@@ -160,6 +202,89 @@ func runSweepMode(a sweepModeArgs) {
 			fmt.Printf("swept %s: %d points -> %s\n", k.Name, len(pr.Points), a.profileDir)
 		}
 	}
+}
+
+// planFormat sniffs a -plan file's header so the shard and merge
+// modes dispatch between profile sweep plans and experiment cell
+// plans without a separate flag.
+func planFormat(path string) string {
+	format, err := gridplan.PlanFileFormat(path)
+	if err != nil {
+		fatal(err)
+	}
+	return format
+}
+
+// runCellShard executes one shard of an experiment-grid cell plan
+// (emitted by poisebench -run <exp> -emit-plan) and writes the cells
+// to -shard-out. The harness is rebuilt from this process's flags; the
+// plan's configuration tag and workload digests must match it, so a
+// worker launched with different flags than the coordinator fails
+// before simulating anything.
+func runCellShard(a sweepModeArgs, index, count int) {
+	plan, err := gridplan.ReadCellPlanFile(a.planPath)
+	if err != nil {
+		fatal(err)
+	}
+	if len(plan.Cells) == 0 {
+		fatal(fmt.Errorf("cell plan %s is empty", a.planPath))
+	}
+	sp, err := plan.Shard(index, count)
+	if err != nil {
+		fatal(err)
+	}
+	grid := plan.Cells[0].Grid
+	h := a.harness()
+	// Validate the whole plan, not just this shard: a worker launched
+	// with mismatched flags must fail fast even if its own slice is
+	// empty or misses the drifted workload.
+	if err := h.ValidateCellPlan(grid, plan); err != nil {
+		fatal(err)
+	}
+	cells, err := h.RunCellTasks(grid, sp.Cells)
+	if err != nil {
+		fatal(err)
+	}
+	if err := results.WriteShardFile(a.shardOut, index, count, cells); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cell shard %d/%d: %d of %d cells of grid %s -> %s\n",
+		index, count, len(cells), len(plan.Cells), grid, a.shardOut)
+}
+
+// mergeCellShards merges cell shard files against their plan and
+// writes the merged entry into the -profile-out results store — the
+// directory poisebench then loads as its -cache, so figures assemble
+// from the sharded campaign without re-simulating.
+func mergeCellShards(a sweepModeArgs, files []string) {
+	plan, err := gridplan.ReadCellPlanFile(a.planPath)
+	if err != nil {
+		fatal(err)
+	}
+	if len(plan.Cells) == 0 {
+		fatal(fmt.Errorf("cell plan %s is empty", a.planPath))
+	}
+	var shards [][]results.CellResult
+	for _, f := range files {
+		cells, err := results.ReadShardFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		shards = append(shards, cells)
+	}
+	merged, err := results.Merge(shards...)
+	if err != nil {
+		fatal(err)
+	}
+	if err := results.Verify(plan, merged); err != nil {
+		fatal(err)
+	}
+	tag, grid := plan.Cells[0].Tag, plan.Cells[0].Grid
+	st := results.Store{Dir: a.profileDir}
+	if err := st.Save(tag, grid, merged); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("merged %d cells of grid %s -> %s\n", len(merged), grid, a.profileDir)
 }
 
 // catalogueKernels indexes every kernel of every catalogue workload by

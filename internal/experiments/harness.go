@@ -21,6 +21,7 @@ import (
 	"poise/internal/gridplan"
 	"poise/internal/poise"
 	"poise/internal/profile"
+	"poise/internal/results"
 	"poise/internal/runner"
 	"poise/internal/sim"
 	"poise/internal/trace"
@@ -73,14 +74,15 @@ type Options struct {
 	// ingested traces unchanged.
 	ExtraWorkloads []*sim.Workload
 
-	// ShardIndex/ShardCount select this process's slice of the profile
-	// sweep plan for RunShard: of the evaluation kernels' grid points
-	// (sorted by task key), this process simulates those with
-	// index % ShardCount == ShardIndex and persists the measurements as
-	// shard partials in CacheDir. ShardCount 0 (the default) means the
-	// harness is not shard-restricted. Merging any shard split is
-	// bit-identical to the in-process sweep, so fanning a sweep across
-	// processes or machines never changes a figure.
+	// ShardIndex/ShardCount select this process's slice of a sharded
+	// campaign — the profile sweep plan for RunShard, or an experiment
+	// grid's cell plan for RunCellShard: of the plan's tasks (sorted by
+	// key), this process simulates those with index % ShardCount ==
+	// ShardIndex and persists the results as shard partials in
+	// CacheDir. ShardCount 0 (the default) means the harness is not
+	// shard-restricted. Merging any shard split is bit-identical to the
+	// in-process run, so fanning a sweep or a figure across processes
+	// or machines never changes a result.
 	ShardIndex, ShardCount int
 }
 
@@ -115,10 +117,18 @@ type Harness struct {
 	Params config.PoiseParams
 	Cat    *workloads.Catalogue
 
-	store    profile.Store
-	profiles runner.Cache[string, *profile.Profile]
-	weights  runner.Once[poise.Weights]
-	dataset  runner.Once[*poise.Dataset]
+	store     profile.Store
+	cellStore results.Store
+	profiles  runner.Cache[string, *profile.Profile]
+	weights   runner.Once[poise.Weights]
+	dataset   runner.Once[*poise.Dataset]
+	// cells memoises executed experiment grids per grid name; ablated
+	// memoises the Fig. 13 retrained models per dropped feature; pools
+	// recycles per-configuration GPUs across every grid the harness
+	// executes.
+	cells   runner.Cache[string, []results.CellResult]
+	ablated runner.Cache[int, poise.Weights]
+	pools   *sim.PoolSet
 
 	// extraKernels maps each ExtraWorkloads kernel name to its
 	// workload's content digest, so only those kernels' profile-cache
@@ -145,6 +155,8 @@ func NewHarness(opt Options) *Harness {
 		Params:       config.DefaultPoise(),
 		Cat:          cat,
 		store:        profile.Store{Dir: opt.CacheDir},
+		cellStore:    results.Store{Dir: opt.CacheDir},
+		pools:        sim.NewPoolSet(),
 		extraKernels: extraKernels,
 	}
 }

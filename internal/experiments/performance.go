@@ -1,18 +1,14 @@
 package experiments
 
 import (
-	"context"
-	"fmt"
-
 	"poise/internal/energy"
-	"poise/internal/poise"
-	"poise/internal/runner"
-	"poise/internal/sched"
-	"poise/internal/sim"
 	"poise/internal/stats"
 )
 
 // SchemeNames lists the Fig. 7/8/9 comparison schemes in paper order.
+// It is also the documented scheme-axis order of the "scheme"
+// experiment grid: cell plans enumerate workload-major with schemes in
+// exactly this order.
 var SchemeNames = []string{"GTO", "SWL", "PCAL-SWL", "Poise", "Static-Best"}
 
 // PerfRow carries one workload's results across all schemes.
@@ -42,87 +38,44 @@ type PerfSummary struct {
 	MeanEnergyRatio float64
 }
 
-// perfCell is one (workload, scheme) grid point of Performance.
-type perfCell struct {
-	res                 sim.WorkloadResult
-	dispN, dispP, dispE float64
-	hasDisp             bool
-}
-
-// Performance runs the evaluation set under every scheme, producing the
-// data behind Figs. 7 (IPC), 8 (L1 hit rate), 9 (AML), 10 (search
-// displacement) and 14 (energy). The workload x scheme grid fans out
-// across the harness's worker pool; every cell builds its own policy
-// instance and GPU, and the rows aggregate in paper order, so the
-// tables are bit-identical at any worker count.
+// Performance produces the data behind Figs. 7 (IPC), 8 (L1 hit rate),
+// 9 (AML), 10 (search displacement) and 14 (energy). The workload x
+// scheme grid runs through the unified gridplan pipeline (GridCells):
+// cells fan out across the worker pool on pooled GPUs in process, or
+// load from the merged results cache after a sharded multi-process
+// campaign — bit-identical either way — and this method is pure
+// assembly over them, aggregating rows in paper order.
 func (h *Harness) Performance() (*PerfSummary, error) {
-	evalSet := h.EvalWorkloads()
-	profs, err := h.WorkloadProfiles(evalSet)
+	cells, err := h.GridCells("scheme")
 	if err != nil {
 		return nil, err
 	}
-	// Materialise the weights before the fan-out so the Poise cells
-	// don't all block on one training run.
-	if _, err := h.ModelWeights(); err != nil {
-		return nil, err
-	}
+	idx := indexCells(cells)
 	em := energy.Default()
 
-	nS := len(SchemeNames)
-	cells, err := runner.Map(h.ctx(), h.Opt.Workers, len(evalSet)*nS,
-		func(_ context.Context, i int) (perfCell, error) {
-			w, scheme := evalSet[i/nS], SchemeNames[i%nS]
-			var pol sim.Policy
-			var pp *poise.Policy
-			switch scheme {
-			case "GTO":
-				pol = sim.GTO{}
-			case "SWL":
-				pol = sched.SWL(profs)
-			case "PCAL-SWL":
-				pol = sched.NewPCALSWL(sched.SWLFromProfiles(profs),
-					h.Params.TWarmup, h.Params.TFeature, h.Params.TPeriod)
-			case "Poise":
-				var err error
-				pp, err = h.PoisePolicy()
-				if err != nil {
-					return perfCell{}, err
-				}
-				pol = pp
-			case "Static-Best":
-				pol = sched.StaticBest(profs)
-			}
-			res, err := h.RunWorkload(w, pol)
-			if err != nil {
-				return perfCell{}, fmt.Errorf("experiments: %s under %s: %w", w.Name, scheme, err)
-			}
-			c := perfCell{res: res}
-			if pp != nil {
-				c.dispN, c.dispP, c.dispE, c.hasDisp = pp.Displacement()
-			}
-			return c, nil
-		})
-	if err != nil {
-		return nil, err
-	}
-
 	sum := &PerfSummary{}
-	for wi, w := range evalSet {
+	for _, w := range h.EvalWorkloads() {
 		row := PerfRow{Workload: w.Name}
-		gto := cells[wi*nS].res // SchemeNames[0] is GTO
-		row.EnergyGTO = em.OfWorkload(gto, h.Cfg.NumSMs).Total()
-		for si, scheme := range SchemeNames {
-			c := cells[wi*nS+si]
+		gto, err := idx.get(w.Name, "GTO")
+		if err != nil {
+			return nil, err
+		}
+		row.EnergyGTO = em.OfWorkload(gto.Result, h.Cfg.NumSMs).Total()
+		for _, scheme := range SchemeNames {
+			c, err := idx.get(w.Name, scheme)
+			if err != nil {
+				return nil, err
+			}
 			if scheme == "Poise" {
-				row.EnergyPoise = em.OfWorkload(c.res, h.Cfg.NumSMs).Total()
-				if c.hasDisp {
-					row.DispN, row.DispP, row.DispE = c.dispN, c.dispP, c.dispE
+				row.EnergyPoise = em.OfWorkload(c.Result, h.Cfg.NumSMs).Total()
+				if c.HasDisp {
+					row.DispN, row.DispP, row.DispE = c.DispN, c.DispP, c.DispE
 				}
 			}
-			row.IPC = append(row.IPC, c.res.IPC)
-			row.Speedup = append(row.Speedup, ratio(c.res.IPC, gto.IPC))
-			row.HitRate = append(row.HitRate, c.res.L1.HitRate())
-			row.AML = append(row.AML, ratio(c.res.AML, gto.AML))
+			row.IPC = append(row.IPC, c.Result.IPC)
+			row.Speedup = append(row.Speedup, ratio(c.Result.IPC, gto.Result.IPC))
+			row.HitRate = append(row.HitRate, c.Result.L1.HitRate())
+			row.AML = append(row.AML, ratio(c.Result.AML, gto.Result.AML))
 		}
 		sum.Rows = append(sum.Rows, row)
 	}

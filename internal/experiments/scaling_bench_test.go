@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"poise/internal/config"
+	"poise/internal/poise"
 	"poise/internal/profile"
+	"poise/internal/sim"
 	"poise/internal/testutil"
 )
 
@@ -79,6 +81,61 @@ func BenchmarkSweepPooledGPU(b *testing.B) {
 				}
 				if len(pr.Points) == 0 {
 					b.Fatal("empty profile")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDatasetPooledGPU compares the pooled training-feature runs
+// against the old fresh-GPU-per-kernel pattern:
+//
+//	go test ./internal/experiments -bench DatasetPooledGPU -benchtime 3x
+//
+// The profile store is warmed first, so the measured BuildDataset
+// iterations are dominated by the per-kernel feature measurement (two
+// kernel runs each) — exactly the path Options routes through a
+// sim.Pool. Results are bit-identical either way (the pool's reset is
+// verified against fresh construction); what moves is allocation
+// churn: pooled runs reuse one memory hierarchy across the whole
+// training set, so B/op drops by roughly the kernel count.
+func BenchmarkDatasetPooledGPU(b *testing.B) {
+	// Short kernels on the full-size default platform: the regime where
+	// building the memory hierarchy per kernel dominates the feature
+	// runs' allocation profile (the same regime BenchmarkSweepPooledGPU
+	// measures for sweeps). The admission floor drops to one cycle so
+	// every kernel reaches the feature-measurement step.
+	cfg := config.Default().Scale(8)
+	params := config.DefaultPoise()
+	params.MinTrainCycles = 1
+	wl := &sim.Workload{Name: "dsbench"}
+	for i := 0; i < 12; i++ {
+		wl.Kernels = append(wl.Kernels, testutil.ThrashKernel(fmt.Sprintf("dsbench#%d", i), 32, 4, 16))
+	}
+	train := []*sim.Workload{wl}
+	store := profile.Store{Dir: b.TempDir()}
+	sweep := profile.SweepOptions{StepN: 12, StepP: 12, Workers: 1}
+	if _, err := poise.BuildDataset(cfg, params, train, sweep, store, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		fresh bool
+	}{
+		{"pooled", false},
+		{"fresh-per-kernel", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			o := sweep
+			o.FreshGPUs = mode.fresh
+			for i := 0; i < b.N; i++ {
+				ds, err := poise.BuildDataset(cfg, params, train, o, store, "bench")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(ds.Samples)+ds.RejectedCycles+ds.RejectedHitRate+ds.RejectedSpeedup == 0 {
+					b.Fatal("empty dataset")
 				}
 			}
 		})

@@ -1,16 +1,17 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 
-	"poise/internal/config"
-	"poise/internal/poise"
-	"poise/internal/runner"
-	"poise/internal/sched"
-	"poise/internal/sim"
 	"poise/internal/stats"
 )
+
+// The sensitivity figures (Fig. 11-16). Like the Fig. 7/8/9 scheme
+// comparison, every figure here is assembly over an experiment grid
+// run through the unified gridplan pipeline (GridCells) — shardable
+// across processes, pool-backed, and bit-identical at any worker or
+// shard count. The bespoke per-figure fan-out loops this file used to
+// contain live on only as grid definitions in grid.go.
 
 // StrideResult backs Fig. 11: harmonic-mean speedup over GTO for each
 // local-search stride setting.
@@ -23,51 +24,32 @@ type StrideResult struct {
 }
 
 // Fig11 sweeps the local-search stride (εN, εp) over the paper's five
-// settings, including the pure-prediction (0, 0) case. The GTO
-// baselines and the stride x workload grid both fan out across the
-// worker pool.
+// settings, including the pure-prediction (0, 0) case, via the
+// "stride" experiment grid.
 func (h *Harness) Fig11() (*StrideResult, error) {
-	strides := [][2]int{{0, 0}, {1, 1}, {2, 2}, {2, 4}, {4, 4}}
-	w, err := h.ModelWeights()
+	cells, err := h.GridCells("stride")
 	if err != nil {
 		return nil, err
 	}
-	out := &StrideResult{Strides: strides}
+	idx := indexCells(cells)
+	out := &StrideResult{Strides: append([][2]int(nil), strideSettings...)}
 	evalSet := h.EvalWorkloads()
-	gtoRes, err := runner.MapSlice(h.ctx(), h.Opt.Workers, evalSet,
-		func(_ context.Context, _ int, wl *sim.Workload) (sim.WorkloadResult, error) {
-			return h.RunWorkload(wl, sim.GTO{})
-		})
-	if err != nil {
-		return nil, err
-	}
-	gto := map[string]float64{}
-	for wi, wl := range evalSet {
-		gto[wl.Name] = gtoRes[wi].IPC
+	for _, wl := range evalSet {
 		out.Workloads = append(out.Workloads, wl.Name)
-		out.PerWorkload = append(out.PerWorkload, make([]float64, len(strides)))
+		out.PerWorkload = append(out.PerWorkload, make([]float64, len(strideSettings)))
 	}
-	nW := len(evalSet)
-	cells, err := runner.Map(h.ctx(), h.Opt.Workers, len(strides)*nW,
-		func(_ context.Context, i int) (sim.WorkloadResult, error) {
-			st, wl := strides[i/nW], evalSet[i%nW]
-			params := h.Params
-			params.StrideN, params.StrideP = st[0], st[1]
-			pol := poise.NewPolicy(params, w)
-			pol.DisableSearch = st[0] == 0 && st[1] == 0
-			res, err := h.RunWorkload(wl, pol)
-			if err != nil {
-				return res, fmt.Errorf("experiments: stride %v on %s: %w", st, wl.Name, err)
-			}
-			return res, nil
-		})
-	if err != nil {
-		return nil, err
-	}
-	for sj := range strides {
+	for sj, st := range strideSettings {
 		var sp []float64
 		for wi, wl := range evalSet {
-			s := ratio(cells[sj*nW+wi].IPC, gto[wl.Name])
+			gto, err := idx.get(wl.Name, "GTO")
+			if err != nil {
+				return nil, err
+			}
+			c, err := idx.get(wl.Name, strideScheme(st))
+			if err != nil {
+				return nil, err
+			}
+			s := ratio(c.Result.IPC, gto.Result.IPC)
 			out.PerWorkload[wi][sj] = s
 			sp = append(sp, s)
 		}
@@ -90,46 +72,33 @@ type CacheSizeResult struct {
 	HMean     []float64
 }
 
-// Fig12 re-evaluates the trained model on altered cache architectures.
+// Fig12 re-evaluates the trained model on altered cache architectures
+// via the "cachesize" experiment grid: one GTO and one Poise cell per
+// (workload, size), each on the altered configuration.
 func (h *Harness) Fig12() (*CacheSizeResult, error) {
-	w, err := h.ModelWeights()
+	cells, err := h.GridCells("cachesize")
 	if err != nil {
 		return nil, err
 	}
-	sizes := []int{16, 32, 64}
+	idx := indexCells(cells)
 	evalSet := h.EvalWorkloads()
-	out := &CacheSizeResult{SizesKB: sizes}
+	out := &CacheSizeResult{SizesKB: append([]int(nil), cacheSizesKB...)}
 	for _, wl := range evalSet {
 		out.Workloads = append(out.Workloads, wl.Name)
-		out.Speedup = append(out.Speedup, make([]float64, len(sizes)))
+		out.Speedup = append(out.Speedup, make([]float64, len(cacheSizesKB)))
 	}
-	// One task per (size, workload) cell; each runs its GTO baseline
-	// and the Poise policy on the altered cache configuration.
-	nW := len(evalSet)
-	cells, err := runner.Map(h.ctx(), h.Opt.Workers, len(sizes)*nW,
-		func(_ context.Context, i int) (float64, error) {
-			kb, wl := sizes[i/nW], evalSet[i%nW]
-			cfg := h.Cfg
-			cfg.L1.SizeBytes = kb * 1024
-			cfg.L1.Index = config.IndexLinear
-			gto, err := sim.RunWorkload(cfg, wl, sim.GTO{}, sim.RunOptions{})
-			if err != nil {
-				return 0, err
-			}
-			pol := poise.NewPolicy(h.Params, w)
-			res, err := sim.RunWorkload(cfg, wl, pol, sim.RunOptions{})
-			if err != nil {
-				return 0, err
-			}
-			return ratio(res.IPC, gto.IPC), nil
-		})
-	if err != nil {
-		return nil, err
-	}
-	for si := range sizes {
+	for si, kb := range cacheSizesKB {
 		var sp []float64
-		for wi := range evalSet {
-			s := cells[si*nW+wi]
+		for wi, wl := range evalSet {
+			gto, err := idx.get(wl.Name, fmt.Sprintf("GTO-%dKB", kb))
+			if err != nil {
+				return nil, err
+			}
+			po, err := idx.get(wl.Name, fmt.Sprintf("Poise-%dKB", kb))
+			if err != nil {
+				return nil, err
+			}
+			s := ratio(po.Result.IPC, gto.Result.IPC)
 			out.Speedup[wi][si] = s
 			sp = append(sp, s)
 		}
@@ -156,66 +125,33 @@ type FeatureAblationResult struct {
 
 // Fig13 retrains with one feature removed (x3, x4, x5, x6, x7 — the
 // paper omits x1/x2 as represented within x7) and measures prediction
-// quality without the local-search safety net.
+// quality without the local-search safety net, via the "ablation"
+// experiment grid. The retrained models build once per process behind
+// a single-flight cache, so cells share them at any worker count.
 func (h *Harness) Fig13() (*FeatureAblationResult, error) {
-	ds, err := h.Dataset()
+	cells, err := h.GridCells("ablation")
 	if err != nil {
 		return nil, err
 	}
-	full, err := poise.Train(ds, poise.TrainOptions{Drop: -1})
-	if err != nil {
-		return nil, err
-	}
+	idx := indexCells(cells)
 	evalSet := h.EvalWorkloads()
-
-	runNoSearch := func(w poise.Weights) (map[string]float64, error) {
-		ipcs, err := runner.MapSlice(h.ctx(), h.Opt.Workers, evalSet,
-			func(_ context.Context, _ int, wl *sim.Workload) (float64, error) {
-				pol := poise.NewPolicy(h.Params, w)
-				pol.DisableSearch = true
-				res, err := h.RunWorkload(wl, pol)
-				if err != nil {
-					return 0, err
-				}
-				return res.IPC, nil
-			})
-		if err != nil {
-			return nil, err
-		}
-		out := map[string]float64{}
-		for wi, wl := range evalSet {
-			out[wl.Name] = ipcs[wi]
-		}
-		return out, nil
-	}
-	base, err := runNoSearch(full)
-	if err != nil {
-		return nil, err
-	}
-
-	dropped := []int{6, 5, 4, 3, 2} // x7, x6, x5, x4, x3 in paper order
-	out := &FeatureAblationResult{Dropped: dropped}
+	out := &FeatureAblationResult{Dropped: append([]int(nil), fig13Dropped...)}
 	for _, wl := range evalSet {
 		out.Workloads = append(out.Workloads, wl.Name)
-		out.Relative = append(out.Relative, make([]float64, len(dropped)))
+		out.Relative = append(out.Relative, make([]float64, len(fig13Dropped)))
 	}
-	// Retrain the five ablated models concurrently (Train only reads
-	// the dataset), then fan each model's no-search evaluation out.
-	models, err := runner.MapSlice(h.ctx(), h.Opt.Workers, dropped,
-		func(_ context.Context, _ int, d int) (poise.Weights, error) {
-			return poise.Train(ds, poise.TrainOptions{Drop: d})
-		})
-	if err != nil {
-		return nil, err
-	}
-	for dj := range dropped {
-		ipcs, err := runNoSearch(models[dj])
-		if err != nil {
-			return nil, err
-		}
+	for dj, d := range fig13Dropped {
 		var rel []float64
 		for wi, wl := range evalSet {
-			r := ratio(ipcs[wl.Name], base[wl.Name])
+			base, err := idx.get(wl.Name, "full")
+			if err != nil {
+				return nil, err
+			}
+			c, err := idx.get(wl.Name, dropScheme(d))
+			if err != nil {
+				return nil, err
+			}
+			r := ratio(c.Result.IPC, base.Result.IPC)
 			out.Relative[wi][dj] = r
 			rel = append(rel, r)
 		}
@@ -239,66 +175,52 @@ type AlternativesResult struct {
 }
 
 // Fig15 compares Poise with the cache-bypassing and stochastic-search
-// alternatives. Each workload is one task; the random-restart seeds
-// are pure functions of (Options.Seed, trial index), so results don't
-// depend on which worker runs them.
+// alternatives via the "alternatives" experiment grid. Each
+// random-restart trial is its own cell whose seed is a pure function
+// of (Options.Seed, trial index), so results don't depend on which
+// worker — or which shard process — runs it; the trials average at
+// assembly time.
 func (h *Harness) Fig15() (*AlternativesResult, error) {
-	out := &AlternativesResult{}
-	evalSet := h.EvalWorkloads()
-	if _, err := h.ModelWeights(); err != nil {
-		return nil, err
-	}
-	type altCell struct{ apcm, rnd, poise float64 }
-	cells, err := runner.MapSlice(h.ctx(), h.Opt.Workers, evalSet,
-		func(_ context.Context, _ int, wl *sim.Workload) (altCell, error) {
-			gto, err := h.RunWorkload(wl, sim.GTO{})
-			if err != nil {
-				return altCell{}, err
-			}
-			ap, err := h.RunWorkload(wl, sched.NewAPCM(h.Params.TFeature))
-			if err != nil {
-				return altCell{}, err
-			}
-			// Random-restart averaged over seeds; Options.Seed shifts
-			// the whole family while seed 0 keeps the canonical 1..n.
-			var rndIPC float64
-			for seed := 0; seed < h.Opt.RandomSeeds; seed++ {
-				r, err := h.RunWorkload(wl, sched.NewRandomRestart(h.Opt.Seed+int64(seed+1),
-					h.Params.TWarmup, h.Params.TSearch, h.Params.TPeriod,
-					h.Params.StrideN, h.Params.StrideP))
-				if err != nil {
-					return altCell{}, err
-				}
-				rndIPC += r.IPC
-			}
-			rndIPC /= float64(h.Opt.RandomSeeds)
-			pol, err := h.PoisePolicy()
-			if err != nil {
-				return altCell{}, err
-			}
-			po, err := h.RunWorkload(wl, pol)
-			if err != nil {
-				return altCell{}, err
-			}
-			return altCell{
-				apcm:  ratio(ap.IPC, gto.IPC),
-				rnd:   ratio(rndIPC, gto.IPC),
-				poise: ratio(po.IPC, gto.IPC),
-			}, nil
-		})
+	cells, err := h.GridCells("alternatives")
 	if err != nil {
 		return nil, err
 	}
+	idx := indexCells(cells)
+	out := &AlternativesResult{}
 	var apcmS, rndS, poiseS []float64
-	for wi, wl := range evalSet {
-		c := cells[wi]
+	for _, wl := range h.EvalWorkloads() {
+		gto, err := idx.get(wl.Name, "GTO")
+		if err != nil {
+			return nil, err
+		}
+		ap, err := idx.get(wl.Name, "APCM")
+		if err != nil {
+			return nil, err
+		}
+		po, err := idx.get(wl.Name, "Poise")
+		if err != nil {
+			return nil, err
+		}
+		var rndIPC float64
+		for i := 1; i <= h.Opt.RandomSeeds; i++ {
+			r, err := idx.get(wl.Name, fmt.Sprintf("random-%d", i))
+			if err != nil {
+				return nil, err
+			}
+			rndIPC += r.Result.IPC
+		}
+		rndIPC /= float64(h.Opt.RandomSeeds)
+
+		a := ratio(ap.Result.IPC, gto.Result.IPC)
+		r := ratio(rndIPC, gto.Result.IPC)
+		p := ratio(po.Result.IPC, gto.Result.IPC)
 		out.Workloads = append(out.Workloads, wl.Name)
-		out.APCM = append(out.APCM, c.apcm)
-		out.Random = append(out.Random, c.rnd)
-		out.Poise = append(out.Poise, c.poise)
-		apcmS = append(apcmS, c.apcm)
-		rndS = append(rndS, c.rnd)
-		poiseS = append(poiseS, c.poise)
+		out.APCM = append(out.APCM, a)
+		out.Random = append(out.Random, r)
+		out.Poise = append(out.Poise, p)
+		apcmS = append(apcmS, a)
+		rndS = append(rndS, r)
+		poiseS = append(poiseS, p)
 	}
 	for i, s := range [][]float64{apcmS, rndS, poiseS} {
 		hm, err := stats.HarmonicMean(s)
@@ -319,48 +241,33 @@ type ComputeResult struct {
 	HMeanPoise float64
 }
 
-// Fig16 verifies Poise's compute-intensive cut-off keeps overhead low.
+// Fig16 verifies Poise's compute-intensive cut-off keeps overhead low,
+// via the "compute" experiment grid.
 func (h *Harness) Fig16() (*ComputeResult, error) {
-	out := &ComputeResult{}
-	if _, err := h.ModelWeights(); err != nil {
-		return nil, err
-	}
-	computeSet := h.Cat.ComputeSet()
-	type compCell struct{ poise, pbest float64 }
-	cells, err := runner.MapSlice(h.ctx(), h.Opt.Workers, computeSet,
-		func(_ context.Context, _ int, wl *sim.Workload) (compCell, error) {
-			gto, err := h.RunWorkload(wl, sim.GTO{})
-			if err != nil {
-				return compCell{}, err
-			}
-			pol, err := h.PoisePolicy()
-			if err != nil {
-				return compCell{}, err
-			}
-			po, err := h.RunWorkload(wl, pol)
-			if err != nil {
-				return compCell{}, err
-			}
-			big := h.Cfg
-			big.L1.SizeBytes *= 64
-			pb, err := sim.RunWorkload(big, wl, sim.GTO{}, sim.RunOptions{})
-			if err != nil {
-				return compCell{}, err
-			}
-			return compCell{
-				poise: ratio(po.IPC, gto.IPC),
-				pbest: ratio(pb.IPC, gto.IPC),
-			}, nil
-		})
+	cells, err := h.GridCells("compute")
 	if err != nil {
 		return nil, err
 	}
+	idx := indexCells(cells)
+	out := &ComputeResult{}
 	var ps []float64
-	for wi, wl := range computeSet {
+	for _, wl := range h.Cat.ComputeSet() {
+		gto, err := idx.get(wl.Name, "GTO")
+		if err != nil {
+			return nil, err
+		}
+		po, err := idx.get(wl.Name, "Poise")
+		if err != nil {
+			return nil, err
+		}
+		pb, err := idx.get(wl.Name, "Pbest")
+		if err != nil {
+			return nil, err
+		}
 		out.Workloads = append(out.Workloads, wl.Name)
-		out.Poise = append(out.Poise, cells[wi].poise)
-		out.Pbest = append(out.Pbest, cells[wi].pbest)
-		ps = append(ps, cells[wi].poise)
+		out.Poise = append(out.Poise, ratio(po.Result.IPC, gto.Result.IPC))
+		out.Pbest = append(out.Pbest, ratio(pb.Result.IPC, gto.Result.IPC))
+		ps = append(ps, ratio(po.Result.IPC, gto.Result.IPC))
 	}
 	hm, err := stats.HarmonicMean(ps)
 	if err != nil {

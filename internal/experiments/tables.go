@@ -2,12 +2,10 @@ package experiments
 
 import (
 	"context"
-	"fmt"
 
 	"poise/internal/poise"
 	"poise/internal/runner"
 	"poise/internal/sim"
-	"poise/internal/workloads"
 )
 
 // TableIIResult carries the trained feature weights (the reproduction's
@@ -44,7 +42,9 @@ func (h *Harness) TableII() (*TableIIResult, error) {
 	// Offline accuracy: profile a subset of unseen evaluation kernels,
 	// derive their scored targets, and compare against predictions.
 	// One task per holdout workload; narrow outer width because each
-	// task's profile sweep fans out across the full pool itself.
+	// task's profile sweep fans out across the full pool itself. The
+	// feature runs draw recycled GPUs from the harness's shared
+	// reset-verified pool set rather than constructing one per kernel.
 	holdout, err := runner.MapSlice(h.ctx(), h.narrowWorkers(), h.EvalWorkloads(),
 		func(_ context.Context, _ int, wl *sim.Workload) (poise.Sample, error) {
 			k := wl.Kernels[0]
@@ -53,7 +53,12 @@ func (h *Harness) TableII() (*TableIIResult, error) {
 				return poise.Sample{}, err
 			}
 			target, _ := pr.BestScore(h.Params)
-			x, err := poise.MeasureFeatures(h.Cfg, k)
+			g, err := h.pools.Get(h.Cfg)
+			if err != nil {
+				return poise.Sample{}, err
+			}
+			x, err := poise.MeasureFeaturesOn(g, k)
+			h.pools.Put(h.Cfg, g)
 			if err != nil {
 				return poise.Sample{}, err
 			}
@@ -79,43 +84,35 @@ type PbestRow struct {
 }
 
 // TableIII measures Pbest for every workload in the catalogue: the
-// speedup of the GTO baseline when the L1 grows 64x. The paper calls a
-// workload memory-sensitive when Pbest exceeds 1.4.
+// speedup of the GTO baseline when the L1 grows 64x, via the "pbest"
+// experiment grid (ingested trace workloads classify alongside the
+// catalogue). The paper calls a workload memory-sensitive when Pbest
+// exceeds 1.4.
 func (h *Harness) TableIII() ([]PbestRow, error) {
-	names := append(append([]string{}, workloads.TrainingNames()...), workloads.EvalNames()...)
-	names = append(names, workloads.ComputeNames()...)
-	// Ingested trace workloads classify alongside the catalogue.
-	seen := map[string]bool{}
-	for _, n := range names {
-		seen[n] = true
+	cells, err := h.GridCells("pbest")
+	if err != nil {
+		return nil, err
 	}
-	for _, w := range h.Opt.ExtraWorkloads {
-		if !seen[w.Name] {
-			seen[w.Name] = true
-			names = append(names, w.Name)
+	idx := indexCells(cells)
+	var rows []PbestRow
+	for _, w := range h.pbestWorkloads() {
+		base, err := idx.get(w.Name, "GTO")
+		if err != nil {
+			return nil, err
 		}
-	}
-	return runner.MapSlice(h.ctx(), h.Opt.Workers, names,
-		func(_ context.Context, _ int, name string) (PbestRow, error) {
-			w := h.Cat.Must(name)
-			base, err := h.RunWorkload(w, sim.GTO{})
-			if err != nil {
-				return PbestRow{}, fmt.Errorf("experiments: pbest baseline %s: %w", name, err)
-			}
-			big := h.Cfg
-			big.L1.SizeBytes *= 64
-			bigRes, err := sim.RunWorkload(big, w, sim.GTO{}, sim.RunOptions{})
-			if err != nil {
-				return PbestRow{}, fmt.Errorf("experiments: pbest 64x %s: %w", name, err)
-			}
-			pb := ratio(bigRes.IPC, base.IPC)
-			return PbestRow{
-				Workload:        name,
-				Kernels:         len(w.Kernels),
-				Pbest:           pb,
-				MemorySensitive: pb > 1.4,
-			}, nil
+		big, err := idx.get(w.Name, "Pbest")
+		if err != nil {
+			return nil, err
+		}
+		pb := ratio(big.Result.IPC, base.Result.IPC)
+		rows = append(rows, PbestRow{
+			Workload:        w.Name,
+			Kernels:         len(w.Kernels),
+			Pbest:           pb,
+			MemorySensitive: pb > 1.4,
 		})
+	}
+	return rows, nil
 }
 
 // HardwareCost reproduces the §VII-I storage accounting: the per-SM

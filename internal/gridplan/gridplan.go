@@ -1,22 +1,28 @@
-// Package gridplan turns {N, p} solution-space sweeps into serialisable
-// work descriptors so a profile sweep can be fanned out across
-// processes (and, with a transport on top, across machines). It owns
-// the three pieces every distributed sweep needs and nothing else:
+// Package gridplan turns experiment grids into serialisable work
+// descriptors so a campaign can be fanned out across processes (and,
+// with a transport on top, across machines). It owns the three pieces
+// every distributed grid needs and nothing else:
 //
 //   - Enumerate: the canonical grid walk, extracted from profile.Sweep
 //     so the in-process sweep and an emitted plan can never disagree
 //     about which points exist.
-//   - Plan / Task: content-digested task descriptors (kernel digest +
-//     configuration tag + {n, p} point + seed) that round-trip through
-//     a JSONL file. The digest lets a worker refuse a plan whose
-//     kernels drifted from its own catalogue.
+//   - Plan / Task and CellPlan / CellTask: content-digested task
+//     descriptors that round-trip through a JSONL file. A Task is one
+//     {N, p} profile point (kernel digest + configuration tag + point +
+//     seed); a CellTask is one experiment-grid cell (workload digest +
+//     scheme/config tag + seed). The digests let a worker refuse a plan
+//     whose kernels or workloads drifted from its own catalogue.
 //   - Shard / Merge: deterministic i-of-N splitting and key-ordered
-//     merging of per-shard measurements, so merging any shard count —
-//     including one — reproduces the single-process sweep bit for bit.
+//     merging of per-shard records, so merging any shard count —
+//     including one — reproduces the single-process run bit for bit.
+//     The splitting and merging machinery is generic over anything
+//     Keyed, so profile measurements and experiment-cell results share
+//     one verified implementation.
 //
-// The package is deliberately below profile in the dependency order:
-// it knows about kernels (package trace) but not about Profiles;
-// package profile assembles merged measurements back into a Profile.
+// The package is deliberately below profile and experiments in the
+// dependency order: it knows about kernels (package trace) but not
+// about Profiles or WorkloadResults; packages profile and results
+// assemble merged records back into their domain types.
 package gridplan
 
 import (
@@ -96,6 +102,85 @@ func (t Task) Key() string {
 // PlanVersion is the on-disk plan/measurement format version.
 const PlanVersion = 1
 
+// Keyed is the identity contract shared by plan tasks and their
+// result records: a stable, unique key whose lexicographic order is
+// the record's canonical order. Sharding and merging are defined
+// entirely in terms of it, so every task kind splits and merges with
+// the same verified machinery.
+type Keyed interface{ Key() string }
+
+// sortKeyed orders records by key in place.
+func sortKeyed[T Keyed](ts []T) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Key() < ts[j].Key() })
+}
+
+// shardKeyed deals the key-sorted records round-robin and returns the
+// i-of-n hand: a pure function of (records, i, n), so any process
+// holding the same plan computes the same shard.
+func shardKeyed[T Keyed](ts []T, i, n int) ([]T, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gridplan: shard count %d < 1", n)
+	}
+	if i < 0 || i >= n {
+		return nil, fmt.Errorf("gridplan: shard index %d outside [0,%d)", i, n)
+	}
+	sorted := append([]T(nil), ts...)
+	sortKeyed(sorted)
+	var out []T
+	for idx, t := range sorted {
+		if idx%n == i {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// MergeKeyed combines per-shard record sets into one key-ordered set.
+// Duplicate keys are an error (a record ran in two shards — the split
+// was inconsistent), so the merge is deterministic and associative:
+// any shard decomposition of a plan merges to the same slice.
+func MergeKeyed[T Keyed](shards ...[]T) ([]T, error) {
+	var all []T
+	for _, s := range shards {
+		all = append(all, s...)
+	}
+	sortKeyed(all)
+	for i := 1; i < len(all); i++ {
+		if all[i].Key() == all[i-1].Key() {
+			return nil, fmt.Errorf("gridplan: record %s present in two shards", all[i].Key())
+		}
+	}
+	return all, nil
+}
+
+// VerifyCover checks that got covers tasks exactly — no key missing,
+// none extra, none duplicated. noun names the record kind in error
+// messages. Plan.Verify and the results store's cell verification are
+// both this check.
+func VerifyCover[T Keyed, M Keyed](tasks []T, got []M, noun string) error {
+	want := map[string]bool{}
+	for _, t := range tasks {
+		want[t.Key()] = true
+	}
+	seen := map[string]bool{}
+	for _, m := range got {
+		k := m.Key()
+		if !want[k] {
+			return fmt.Errorf("gridplan: %s %s is not in the plan", noun, k)
+		}
+		if seen[k] {
+			return fmt.Errorf("gridplan: %s %s appears twice", noun, k)
+		}
+		seen[k] = true
+	}
+	for k := range want {
+		if !seen[k] {
+			return fmt.Errorf("gridplan: plan task %s has no %s (missing shard?)", k, noun)
+		}
+	}
+	return nil
+}
+
 // Plan is an ordered set of tasks — typically every grid point of
 // every kernel in one sweep campaign.
 type Plan struct {
@@ -106,11 +191,7 @@ type Plan struct {
 // Sort orders the tasks by key (stable identity order). Shard and
 // Verify call it implicitly; exported for callers that want the
 // canonical order for display.
-func (p *Plan) Sort() {
-	sort.Slice(p.Tasks, func(i, j int) bool {
-		return p.Tasks[i].Key() < p.Tasks[j].Key()
-	})
-}
+func (p *Plan) Sort() { sortKeyed(p.Tasks) }
 
 // Validate reports duplicate task keys or malformed coordinates.
 func (p *Plan) Validate() error {
@@ -137,21 +218,11 @@ func (p *Plan) Validate() error {
 // same plan file computes the same shard. Shard(0, 1) is the whole
 // plan.
 func (p *Plan) Shard(i, n int) (*Plan, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("gridplan: shard count %d < 1", n)
+	tasks, err := shardKeyed(p.Tasks, i, n)
+	if err != nil {
+		return nil, err
 	}
-	if i < 0 || i >= n {
-		return nil, fmt.Errorf("gridplan: shard index %d outside [0,%d)", i, n)
-	}
-	sorted := &Plan{Version: p.Version, Tasks: append([]Task(nil), p.Tasks...)}
-	sorted.Sort()
-	out := &Plan{Version: p.Version}
-	for idx, t := range sorted.Tasks {
-		if idx%n == i {
-			out.Tasks = append(out.Tasks, t)
-		}
-	}
-	return out, nil
+	return &Plan{Version: p.Version, Tasks: tasks}, nil
 }
 
 // ParseShard parses a command-line "i/N" shard assignment (e.g.
@@ -173,6 +244,23 @@ func ParseShard(s string) (index, count int, err error) {
 		return 0, 0, fmt.Errorf("gridplan: shard index %d outside [0,%d) in %q", index, count, s)
 	}
 	return index, count, nil
+}
+
+// SplitFiles parses a command-line comma-separated shard-file list,
+// trimming whitespace and dropping empty entries. An empty list is an
+// error: merging zero shards silently yields an empty result, which a
+// mistyped flag should never be able to request.
+func SplitFiles(s string) ([]string, error) {
+	var files []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("gridplan: no shard files in %q", s)
+	}
+	return files, nil
 }
 
 // Kernels returns the distinct (tag, kernel) pairs of the plan in key
@@ -233,17 +321,7 @@ func (m Measurement) Key() string {
 // was inconsistent), so the merge is deterministic and associative:
 // any shard decomposition of a plan merges to the same slice.
 func Merge(shards ...[]Measurement) ([]Measurement, error) {
-	var all []Measurement
-	for _, s := range shards {
-		all = append(all, s...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i].Key() < all[j].Key() })
-	for i := 1; i < len(all); i++ {
-		if all[i].Key() == all[i-1].Key() {
-			return nil, fmt.Errorf("gridplan: point %s measured in two shards", all[i].Key())
-		}
-	}
-	return all, nil
+	return MergeKeyed(shards...)
 }
 
 // Verify checks that the measurements cover the plan's tasks exactly:
@@ -251,27 +329,7 @@ func Merge(shards ...[]Measurement) ([]Measurement, error) {
 // lost or double-submitted shard fails loudly instead of producing a
 // silently sparse profile.
 func (p *Plan) Verify(ms []Measurement) error {
-	want := map[string]bool{}
-	for _, t := range p.Tasks {
-		want[t.Key()] = true
-	}
-	got := map[string]bool{}
-	for _, m := range ms {
-		k := m.Key()
-		if !want[k] {
-			return fmt.Errorf("gridplan: measurement %s is not in the plan", k)
-		}
-		if got[k] {
-			return fmt.Errorf("gridplan: measurement %s appears twice", k)
-		}
-		got[k] = true
-	}
-	for k := range want {
-		if !got[k] {
-			return fmt.Errorf("gridplan: plan task %s has no measurement (missing shard?)", k)
-		}
-	}
-	return nil
+	return VerifyCover(p.Tasks, ms, "measurement")
 }
 
 // KernelDigest fingerprints a kernel's content: structure, body,

@@ -30,7 +30,33 @@ type measHeader struct {
 const (
 	planFormat = "poiseplan"
 	measFormat = "poiseshard"
+
+	// CellPlanFormat tags experiment-cell plan files; exported so
+	// callers can dispatch on PlanFileFormat's result.
+	CellPlanFormat = "poisecellplan"
+	// ProfilePlanFormat is the profile-sweep plan tag, for symmetry.
+	ProfilePlanFormat = planFormat
 )
+
+// PlanFileFormat reads just the header of a JSONL plan file and
+// returns its format tag (ProfilePlanFormat or CellPlanFormat), so a
+// command can dispatch a -plan argument to the right pipeline without
+// parsing the whole file twice.
+func PlanFileFormat(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	var h planHeader
+	if err := newLineScanner(f).Next(&h); err != nil {
+		return "", fmt.Errorf("gridplan: reading %s header: %w", path, err)
+	}
+	if h.Format == "" {
+		return "", fmt.Errorf("gridplan: %s is not a plan file (no format header)", path)
+	}
+	return h.Format, nil
+}
 
 // WritePlan serialises a plan as JSONL.
 func WritePlan(w io.Writer, p *Plan) error {
@@ -56,7 +82,7 @@ func WritePlan(w io.Writer, p *Plan) error {
 func ReadPlan(r io.Reader) (*Plan, error) {
 	sc := newLineScanner(r)
 	var h planHeader
-	if err := sc.next(&h); err != nil {
+	if err := sc.Next(&h); err != nil {
 		return nil, fmt.Errorf("gridplan: plan header: %w", err)
 	}
 	if h.Format != planFormat {
@@ -68,12 +94,12 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 	p := &Plan{Version: h.Version}
 	for {
 		var t Task
-		err := sc.next(&t)
+		err := sc.Next(&t)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("gridplan: plan line %d: %w", sc.line, err)
+			return nil, fmt.Errorf("gridplan: plan line %d: %w", sc.Line(), err)
 		}
 		p.Tasks = append(p.Tasks, t)
 	}
@@ -137,7 +163,7 @@ func WriteMeasurements(w io.Writer, shard, of int, ms []Measurement) error {
 func ReadMeasurements(r io.Reader) ([]Measurement, error) {
 	sc := newLineScanner(r)
 	var h measHeader
-	if err := sc.next(&h); err != nil {
+	if err := sc.Next(&h); err != nil {
 		return nil, fmt.Errorf("gridplan: shard header: %w", err)
 	}
 	if h.Format != measFormat {
@@ -149,12 +175,12 @@ func ReadMeasurements(r io.Reader) ([]Measurement, error) {
 	var ms []Measurement
 	for {
 		var m Measurement
-		err := sc.next(&m)
+		err := sc.Next(&m)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("gridplan: shard line %d: %w", sc.line, err)
+			return nil, fmt.Errorf("gridplan: shard line %d: %w", sc.Line(), err)
 		}
 		ms = append(ms, m)
 	}
@@ -194,20 +220,116 @@ func ReadMeasurementsFile(path string) ([]Measurement, error) {
 	return ms, nil
 }
 
-// lineScanner decodes one JSON object per line, tolerating blank lines
-// and tracking line numbers for diagnostics.
-type lineScanner struct {
+// WriteCellPlan serialises an experiment-cell plan as JSONL.
+func WriteCellPlan(w io.Writer, p *CellPlan) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	v := p.Version
+	if v == 0 {
+		v = PlanVersion
+	}
+	if err := enc.Encode(planHeader{Format: CellPlanFormat, Version: v, Tasks: len(p.Cells)}); err != nil {
+		return err
+	}
+	for _, c := range p.Cells {
+		if err := enc.Encode(c); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCellPlan parses a JSONL cell plan, validating the header, the
+// cell count and the cell invariants.
+func ReadCellPlan(r io.Reader) (*CellPlan, error) {
+	sc := newLineScanner(r)
+	var h planHeader
+	if err := sc.Next(&h); err != nil {
+		return nil, fmt.Errorf("gridplan: cell plan header: %w", err)
+	}
+	if h.Format != CellPlanFormat {
+		return nil, fmt.Errorf("gridplan: not a cell plan file (format %q)", h.Format)
+	}
+	if h.Version != PlanVersion {
+		return nil, fmt.Errorf("gridplan: unsupported cell plan version %d (have %d)", h.Version, PlanVersion)
+	}
+	p := &CellPlan{Version: h.Version}
+	for {
+		var c CellTask
+		err := sc.Next(&c)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gridplan: cell plan line %d: %w", sc.Line(), err)
+		}
+		p.Cells = append(p.Cells, c)
+	}
+	if len(p.Cells) != h.Tasks {
+		return nil, fmt.Errorf("gridplan: cell plan truncated: header says %d cells, file has %d", h.Tasks, len(p.Cells))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// WriteCellPlanFile writes a cell plan to path.
+func WriteCellPlanFile(path string, p *CellPlan) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = WriteCellPlan(f, p)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("gridplan: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadCellPlanFile reads a cell plan from path.
+func ReadCellPlanFile(path string) (*CellPlan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	p, err := ReadCellPlan(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (reading %s)", err, path)
+	}
+	return p, nil
+}
+
+// JSONLScanner decodes one JSON object per line, tolerating blank
+// lines and tracking line numbers for diagnostics. It is exported so
+// sibling stores (package results' cell-shard container) parse their
+// JSONL files with exactly the same rules instead of duplicating the
+// scanner.
+type JSONLScanner struct {
 	sc   *bufio.Scanner
 	line int
 }
 
-func newLineScanner(r io.Reader) *lineScanner {
+// NewJSONLScanner wraps r; maxLine bounds a single line's size (<= 0
+// selects the plan files' default of 4 MB).
+func NewJSONLScanner(r io.Reader, maxLine int) *JSONLScanner {
+	if maxLine <= 0 {
+		maxLine = 4 * 1024 * 1024
+	}
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	return &lineScanner{sc: sc}
+	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
+	return &JSONLScanner{sc: sc}
 }
 
-func (l *lineScanner) next(v any) error {
+func newLineScanner(r io.Reader) *JSONLScanner { return NewJSONLScanner(r, 0) }
+
+// Next decodes the next non-blank line into v, returning io.EOF at
+// the end of input.
+func (l *JSONLScanner) Next(v any) error {
 	for l.sc.Scan() {
 		l.line++
 		b := l.sc.Bytes()
@@ -221,6 +343,9 @@ func (l *lineScanner) next(v any) error {
 	}
 	return io.EOF
 }
+
+// Line reports the current (1-based) line number, for error messages.
+func (l *JSONLScanner) Line() int { return l.line }
 
 func trimSpace(b []byte) []byte {
 	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r') {

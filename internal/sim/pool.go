@@ -84,3 +84,72 @@ func (p *Pool) Stats() (builds, reuses int64) {
 	defer p.mu.Unlock()
 	return p.builds, p.reuses
 }
+
+// PoolSet hands out GPUs from one Pool per distinct configuration —
+// the multi-configuration analogue experiment grids need when schemes
+// alter the platform per cell (Fig. 12's grown linear-indexed L1,
+// Fig. 16's and Table III's 64x Pbest probes run next to baseline
+// cells in the same grid). Each configuration gets the same
+// worker-pinned reuse discipline a single-config Pool provides, with
+// the same correctness story: Put resets to fresh-construction state,
+// so recycled GPUs cannot perturb results.
+type PoolSet struct {
+	mu    sync.Mutex
+	pools map[config.Config]*Pool
+}
+
+// NewPoolSet builds an empty pool set; pools are created lazily per
+// configuration on first Get.
+func NewPoolSet() *PoolSet {
+	return &PoolSet{pools: map[config.Config]*Pool{}}
+}
+
+// pool returns (creating if needed) the pool for cfg.
+func (ps *PoolSet) pool(cfg config.Config) (*Pool, error) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if p, ok := ps.pools[cfg]; ok {
+		return p, nil
+	}
+	p, err := NewPool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ps.pools[cfg] = p
+	return p, nil
+}
+
+// Get returns a fresh-state GPU for cfg, recycling a parked one built
+// with the same configuration when available.
+func (ps *PoolSet) Get(cfg config.Config) (*GPU, error) {
+	p, err := ps.pool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Get()
+}
+
+// Put resets g and parks it in cfg's pool. cfg must be the
+// configuration g was obtained with.
+func (ps *PoolSet) Put(cfg config.Config, g *GPU) {
+	if g == nil {
+		return
+	}
+	p, err := ps.pool(cfg)
+	if err != nil {
+		return
+	}
+	p.Put(g)
+}
+
+// Stats sums construction vs reuse counts across all pools.
+func (ps *PoolSet) Stats() (builds, reuses int64) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for _, p := range ps.pools {
+		b, r := p.Stats()
+		builds += b
+		reuses += r
+	}
+	return builds, reuses
+}

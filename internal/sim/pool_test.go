@@ -7,6 +7,7 @@ import (
 	"poise/internal/sched"
 	"poise/internal/sim"
 	"poise/internal/testutil"
+	"poise/internal/trace"
 )
 
 // TestPoolResetBitIdentical is the GPU pool's load-bearing invariant:
@@ -108,4 +109,87 @@ func TestPoolRejectsBadConfig(t *testing.T) {
 	if _, err := sim.NewPool(cfg); err == nil {
 		t.Fatal("invalid config must fail NewPool")
 	}
+	ps := sim.NewPoolSet()
+	if _, err := ps.Get(cfg); err == nil {
+		t.Fatal("invalid config must fail PoolSet.Get")
+	}
+}
+
+// TestPoolResetAfterWorkloadRun extends the reset invariant to
+// multi-kernel workload runs, whose Warm option carries L2 contents
+// across kernels: after RunWorkload, Reset must still restore
+// fresh-construction state, and a reset GPU must replay the workload
+// identically — the property that lets experiment-grid cells recycle
+// GPUs through a pool.
+func TestPoolResetAfterWorkloadRun(t *testing.T) {
+	cfg := testutil.TinyConfig()
+	fresh, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &sim.Workload{Name: "poolwl", Kernels: []*trace.Kernel{
+		testutil.ThrashKernel("poolwl#0", 24, 12, 3),
+		testutil.ThrashKernel("poolwl#1", 16, 10, 2),
+	}}
+	want, err := used.RunWorkload(w, sim.GTO{}, sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used.Reset()
+	if !reflect.DeepEqual(fresh, used) {
+		t.Fatal("Reset after a warm multi-kernel workload run differs from fresh construction")
+	}
+	got, err := used.RunWorkload(w, sim.GTO{}, sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("reset GPU replayed the workload differently")
+	}
+}
+
+// TestPoolSetPerConfig: a PoolSet keeps one pool per distinct
+// configuration, recycling within a configuration and never across.
+func TestPoolSetPerConfig(t *testing.T) {
+	cfgA := testutil.TinyConfig()
+	cfgB := testutil.TinyConfig()
+	cfgB.L1.SizeBytes *= 2
+	ps := sim.NewPoolSet()
+
+	a1, err := ps.Get(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := ps.Get(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Cfg != cfgA || b1.Cfg != cfgB {
+		t.Fatal("PoolSet handed out GPUs with the wrong configuration")
+	}
+	ps.Put(cfgA, a1)
+	ps.Put(cfgB, b1)
+	a2, err := ps.Get(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a1 {
+		t.Fatal("PoolSet must recycle within a configuration")
+	}
+	b2, err := ps.Get(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 != b1 {
+		t.Fatal("PoolSet must recycle the other configuration's GPU too")
+	}
+	builds, reuses := ps.Stats()
+	if builds != 2 || reuses != 2 {
+		t.Fatalf("builds=%d reuses=%d, want 2 and 2", builds, reuses)
+	}
+	ps.Put(cfgA, nil) // nil puts are ignored
 }
