@@ -33,6 +33,15 @@
 // Merging any shard split is reflect.DeepEqual-identical to the
 // in-process grid, so the final tables are byte-identical to an
 // unsharded run with the cache disabled (CI asserts exactly that).
+//
+// -prune switches every profile sweep to adaptive coarse-to-fine
+// refinement: a fraction of each {N,p} grid is simulated while the
+// Static-Best, SWL and scored tuples — all any experiment consumes —
+// match the exhaustive sweep. Combined with the three sharding flags
+// and -run all, the sweep campaign proceeds in refinement rounds
+// (emit, shard, merge, repeat until "refinement complete"); pruned
+// profiles cache under their own tag, so pruned and exhaustive
+// campaigns never mix.
 package main
 
 import (
@@ -79,6 +88,7 @@ func main() {
 		size     = flag.String("size", "small", "workload size: small | medium | large")
 		cacheDir = flag.String("cache", ".poise-cache", "profile cache directory ('' disables)")
 		seeds    = flag.Int("seeds", 3, "random-restart seeds (paper uses 20)")
+		prune    = flag.Bool("prune", false, "adaptive coarse-to-fine profile sweeps: simulate a fraction of each {N,p} grid while selecting the same Static-Best/SWL/scored tuples (with -emit-plan/-shard/-merge-shards and -run all, drives the sweep campaign in refinement rounds)")
 		parallel = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 		seed     = flag.Int64("seed", 0, "experiment seed (perturbs workload jitter and random-restart; 0 = canonical)")
 		listExp  = flag.Bool("listexp", false, "list experiments and exit")
@@ -130,6 +140,7 @@ func main() {
 		Seed:           *seed,
 		Ctx:            ctx,
 		ExtraWorkloads: extra,
+		Prune:          *prune,
 	}
 	if *shardStr != "" {
 		i, n, err := gridplan.ParseShard(*shardStr)
@@ -487,6 +498,23 @@ func runShardMode(h *experiments.Harness, run, emitPlan, shard string, merge boo
 				emitPlan, len(plan.Cells), grid, plan.Cells[0].Tag)
 			return nil
 		}
+		if h.Opt.Prune {
+			plan, done, err := h.RefinePlan()
+			if err != nil {
+				return err
+			}
+			if done {
+				fmt.Println("refinement complete: merged profiles are in the cache")
+				return nil
+			}
+			plan.Sort()
+			if err := gridplan.WritePlanFile(emitPlan, plan); err != nil {
+				return err
+			}
+			fmt.Printf("refine round plan %s: %d tasks over %d kernels\n",
+				emitPlan, len(plan.Tasks), len(plan.Kernels()))
+			return nil
+		}
 		plan, err := h.EvalPlan()
 		if err != nil {
 			return err
@@ -505,6 +533,21 @@ func runShardMode(h *experiments.Harness, run, emitPlan, shard string, merge boo
 			fmt.Printf("shard %s of grid %s -> %s\n", shard, grid, f)
 			return nil
 		}
+		if h.Opt.Prune {
+			files, err := h.RunRefineShard()
+			if err != nil {
+				return err
+			}
+			if len(files) == 0 {
+				fmt.Println("refinement complete: nothing to simulate")
+				return nil
+			}
+			for _, f := range files {
+				fmt.Println("wrote", f)
+			}
+			fmt.Printf("refine shard %s: %d partial files\n", shard, len(files))
+			return nil
+		}
 		files, err := h.RunShard()
 		if err != nil {
 			return err
@@ -520,6 +563,18 @@ func runShardMode(h *experiments.Harness, run, emitPlan, shard string, merge boo
 				return err
 			}
 			fmt.Printf("merged %d cells of grid %s into the cache\n", n, grid)
+			return nil
+		}
+		if h.Opt.Prune {
+			done, err := h.MergeRefinePartials()
+			if err != nil {
+				return err
+			}
+			if done {
+				fmt.Println("refinement complete: merged profiles into the cache")
+			} else {
+				fmt.Println("round merged; refinement continues (emit/shard/merge again)")
+			}
 			return nil
 		}
 		names, err := h.MergeShardPartials()

@@ -57,6 +57,27 @@
 // Worker flags must reproduce the coordinator's configuration (-sms,
 // -size, -seed, -stepn/-stepp); the plan's configuration tag and
 // workload digests are verified first, so mismatches fail fast.
+//
+// Adaptive sweep pruning (-prune) replaces the exhaustive grid with a
+// coarse pass plus score-ranked neighbourhood refinement, simulating a
+// fraction of the points while selecting the same Static-Best, SWL and
+// scored tuples. In-process:
+//
+//	poisesim -workload ii -prune -sweep -profile-out pruned
+//
+// Staged, one plan file per refinement round — each round shards with
+// the unchanged -shard workers, and the loop ends when -emit-plan
+// reports "refinement complete" and assembles the profiles:
+//
+//	poisesim -workload ii -prune -cache rounds -emit-plan r.jsonl -profile-out pruned
+//	poisesim -plan r.jsonl -shard 0/2 -shard-out r0.jsonl
+//	poisesim -plan r.jsonl -shard 1/2 -shard-out r1.jsonl
+//	poisesim -prune -plan r.jsonl -merge-shards r0.jsonl,r1.jsonl -cache rounds
+//	...repeat...
+//
+// -best prints the static policy table derived from a profile
+// directory; pruned and exhaustive campaigns print identical tables
+// (CI byte-diffs them).
 package main
 
 import (
@@ -103,6 +124,8 @@ func main() {
 		mergeStr = flag.String("merge-shards", "", "comma-separated shard measurement files to merge into profiles under -profile-out (needs -plan)")
 		profDir  = flag.String("profile-out", "", "profile cache directory -merge-shards and -sweep write to")
 		sweepRun = flag.Bool("sweep", false, "run an in-process sweep of the selected workloads and save profiles under -profile-out (the unsharded reference)")
+		pruneRun = flag.Bool("prune", false, "adaptive coarse-to-fine sweep pruning: with -sweep run pruned sweeps in-process; with -emit-plan/-merge-shards drive the staged per-round plan flow (rounds cached in -cache)")
+		bestRun  = flag.Bool("best", false, "print the static policy table (Static-Best/SWL/scored tuples) derived from the profiles in -profile-out and exit")
 		stepN    = flag.Int("stepn", 2, "sweep grid N step for the plan/sweep modes")
 		stepP    = flag.Int("stepp", 2, "sweep grid p step for the plan/sweep modes")
 		cacheDir = flag.String("cache", "", "profile cache directory for cell-plan shards ('' = none; share one across workers and with the poisebench coordinator so profile-hungry grids sweep once)")
@@ -185,12 +208,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *emitPlan != "" || *shardStr != "" || *mergeStr != "" || *sweepRun {
+	if *emitPlan != "" || *shardStr != "" || *mergeStr != "" || *sweepRun || *bestRun {
 		runSweepMode(sweepModeArgs{
 			cfg: cfg, cat: cat, selected: ws, ctx: ctx,
 			emitPlan: *emitPlan, planPath: *planPth,
 			shard: *shardStr, shardOut: *shardOut,
 			merge: *mergeStr, profileDir: *profDir, sweep: *sweepRun,
+			prune: *pruneRun, best: *bestRun,
 			sms: *sms, size: parseSize(*size),
 			cacheDir: *cacheDir, seeds: *seeds, extra: extra,
 			stepN: *stepN, stepP: *stepP, workers: *parallel, seed: *seed,

@@ -2,7 +2,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"poise/internal/config"
 	"poise/internal/experiments"
@@ -49,6 +54,8 @@ type sweepModeArgs struct {
 	merge      string
 	profileDir string
 	sweep      bool
+	prune      bool
+	best       bool
 
 	sms          int
 	size         workloads.Size
@@ -75,21 +82,55 @@ func (a sweepModeArgs) harness() *experiments.Harness {
 		EvalStepN: a.stepN, EvalStepP: a.stepP,
 		Workers: a.workers, Ctx: a.ctx,
 		ExtraWorkloads: a.extra,
+		Prune:          a.prune,
 	})
 }
 
 func runSweepMode(a sweepModeArgs) {
 	opts := profile.SweepOptions{StepN: a.stepN, StepP: a.stepP, Workers: a.workers, Ctx: a.ctx}
+	if a.prune {
+		// Default refinement parameters; folding them into the tag
+		// keeps pruned and exhaustive campaigns from sharing cache
+		// entries or round files.
+		opts.Refine = &profile.RefineOptions{}
+	}
 	// The tag keys profiles by everything that changes them: the scaled
-	// configuration, the grid resolution, and the catalogue seed (the
-	// kernels' stochastic streams). All processes of one campaign agree
-	// on these flags, so they agree on the tag.
+	// configuration, the grid resolution, the pruning mode, and the
+	// catalogue seed (the kernels' stochastic streams). All processes
+	// of one campaign agree on these flags, so they agree on the tag.
 	tag := profile.SweepTag(a.cfg, opts)
 	if a.seed != 0 {
 		tag = fmt.Sprintf("%s-seed%d", tag, a.seed)
 	}
 
 	switch {
+	case a.best:
+		printBestTable(a.profileDir)
+
+	case a.prune && a.emitPlan != "":
+		emitRefineRound(a, tag, opts)
+
+	case a.prune && a.merge != "":
+		mergeRefineRound(a)
+
+	case a.prune && a.sweep:
+		if a.profileDir == "" {
+			fatal(fmt.Errorf("-prune -sweep needs -profile-out"))
+		}
+		st := profile.Store{Dir: a.profileDir}
+		for _, k := range sim.DistinctKernels(a.selected) {
+			pr, stats, err := profile.PrunedSweep(a.cfg, k, opts)
+			if err != nil {
+				fatal(err)
+			}
+			if err := st.Save(tag, pr); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("pruned %s: %d of %d grid points (%.0f%%) in %d rounds -> %s\n",
+				k.Name, stats.Simulated, stats.GridPoints, 100*stats.Fraction(),
+				stats.Rounds, a.profileDir)
+		}
+
 	case a.emitPlan != "":
 		plan := &gridplan.Plan{Version: gridplan.PlanVersion}
 		kernels := sim.DistinctKernels(a.selected)
@@ -149,34 +190,9 @@ func runSweepMode(a sweepModeArgs) {
 			mergeCellShards(a, files)
 			return
 		}
-		plan, err := gridplan.ReadPlanFile(a.planPath)
-		if err != nil {
-			fatal(err)
-		}
-		var shards [][]gridplan.Measurement
-		for _, f := range files {
-			ms, err := gridplan.ReadMeasurementsFile(f)
-			if err != nil {
-				fatal(err)
-			}
-			shards = append(shards, ms)
-		}
-		merged, err := gridplan.Merge(shards...)
-		if err != nil {
-			fatal(err)
-		}
-		if err := plan.Verify(merged); err != nil {
-			fatal(err)
-		}
 		st := profile.Store{Dir: a.profileDir}
-		for _, g := range plan.Kernels() {
-			var ms []gridplan.Measurement
-			for _, m := range merged {
-				if m.Tag == g.Tag && m.Kernel == g.Kernel {
-					ms = append(ms, m)
-				}
-			}
-			pr, err := profile.MergeShards(g.Kernel, ms)
+		for _, g := range verifiedShardGroups(a.planPath, files) {
+			pr, err := profile.MergeShards(g.Kernel, g.ms)
 			if err != nil {
 				fatal(err)
 			}
@@ -285,6 +301,206 @@ func mergeCellShards(a sweepModeArgs, files []string) {
 		fatal(err)
 	}
 	fmt.Printf("merged %d cells of grid %s -> %s\n", len(merged), grid, a.profileDir)
+}
+
+// emitRefineRound computes the next pruned-sweep refinement round for
+// the selected workloads from the round partials in -cache and writes
+// it as an ordinary plan file, which the existing -shard workers
+// execute unchanged. When every kernel's refinement has converged it
+// instead assembles the final profiles into -profile-out (when given)
+// and reports completion — the loop driver greps for that.
+func emitRefineRound(a sweepModeArgs, tag string, opts profile.SweepOptions) {
+	if a.cacheDir == "" {
+		fatal(fmt.Errorf("-prune -emit-plan needs -cache for round partials"))
+	}
+	st := profile.Store{Dir: a.cacheDir}
+	plan := &gridplan.Plan{Version: gridplan.PlanVersion}
+	kernels := sim.DistinctKernels(a.selected)
+	type state struct {
+		kernel string
+		prior  []gridplan.Measurement
+	}
+	var states []state
+	for _, k := range kernels {
+		rounds := st.LoadRounds(tag, k.Name)
+		prior, err := gridplan.Merge(rounds...)
+		if err != nil {
+			fatal(fmt.Errorf("round partials for %s: %w", k.Name, err))
+		}
+		kp, done, err := profile.BuildRefinePlan(tag, a.cfg, k, opts, len(rounds), prior)
+		if err != nil {
+			fatal(err)
+		}
+		if !done {
+			plan.Tasks = append(plan.Tasks, kp.Tasks...)
+		}
+		states = append(states, state{kernel: k.Name, prior: prior})
+	}
+	if len(plan.Tasks) > 0 {
+		plan.Sort()
+		if err := plan.Validate(); err != nil {
+			fatal(err)
+		}
+		if err := gridplan.WritePlanFile(a.emitPlan, plan); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("refine round plan %s: %d tasks over %d kernels (tag %s)\n",
+			a.emitPlan, len(plan.Tasks), len(kernels), tag)
+		return
+	}
+	if a.profileDir != "" {
+		out := profile.Store{Dir: a.profileDir}
+		for _, s := range states {
+			pr, err := profile.MergeShards(s.kernel, s.prior)
+			if err != nil {
+				fatal(err)
+			}
+			if err := out.Save(tag, pr); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("assembled %s: %d pruned points -> %s\n", s.kernel, len(pr.Points), a.profileDir)
+		}
+	}
+	fmt.Println("refinement complete")
+}
+
+// mergeRefineRound folds shard measurement files of one refinement
+// round back into per-kernel round partials in -cache, verifying full
+// coverage against the round's plan, so the next emitRefineRound can
+// derive the following round.
+func mergeRefineRound(a sweepModeArgs) {
+	if a.planPath == "" || a.cacheDir == "" {
+		fatal(fmt.Errorf("-prune -merge-shards needs -plan and -cache"))
+	}
+	files, err := gridplan.SplitFiles(a.merge)
+	if err != nil {
+		fatal(fmt.Errorf("-merge-shards: %w", err))
+	}
+	st := profile.Store{Dir: a.cacheDir}
+	for _, g := range verifiedShardGroups(a.planPath, files) {
+		rounds := st.LoadRounds(g.Tag, g.Kernel)
+		prior, err := gridplan.Merge(rounds...)
+		if err != nil {
+			fatal(fmt.Errorf("round partials for %s: %w", g.Kernel, err))
+		}
+		// Idempotence: a retried merge of an already-folded round must
+		// not append the same measurements as a new round (that would
+		// wedge every later emit on duplicate keys). Points partially
+		// overlapping the cached rounds are a genuinely inconsistent
+		// plan/cache mix and fail loudly instead.
+		have := map[string]bool{}
+		for _, m := range prior {
+			have[m.Key()] = true
+		}
+		dup := 0
+		for _, m := range g.ms {
+			if have[m.Key()] {
+				dup++
+			}
+		}
+		switch {
+		case dup == len(g.ms):
+			fmt.Printf("round for %s already merged (%d points), skipping\n", g.Kernel, len(g.ms))
+			continue
+		case dup > 0:
+			fatal(fmt.Errorf("%s: %d of %d points already in cached rounds — shard files do not match the current round (stale -plan?)",
+				g.Kernel, dup, len(g.ms)))
+		}
+		round := len(rounds)
+		if err := st.SaveRound(g.Tag, g.Kernel, round, g.ms); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("merged %s round %d: %d points -> %s\n", g.Kernel, round, len(g.ms), a.cacheDir)
+	}
+}
+
+// shardGroup is one (tag, kernel)'s verified slice of a merged shard
+// set.
+type shardGroup struct {
+	Tag, Kernel string
+	ms          []gridplan.Measurement
+}
+
+// verifiedShardGroups reads a profile plan and its shard measurement
+// files, merges the shards, verifies exact plan coverage (a lost or
+// duplicated shard fails loudly), and returns the measurements
+// grouped per (tag, kernel) in plan order — the shared front half of
+// both the exhaustive -merge-shards path and the pruned round merge.
+func verifiedShardGroups(planPath string, files []string) []shardGroup {
+	plan, err := gridplan.ReadPlanFile(planPath)
+	if err != nil {
+		fatal(err)
+	}
+	var shards [][]gridplan.Measurement
+	for _, f := range files {
+		ms, err := gridplan.ReadMeasurementsFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		shards = append(shards, ms)
+	}
+	merged, err := gridplan.Merge(shards...)
+	if err != nil {
+		fatal(err)
+	}
+	if err := plan.Verify(merged); err != nil {
+		fatal(err)
+	}
+	var groups []shardGroup
+	for _, g := range plan.Kernels() {
+		var ms []gridplan.Measurement
+		for _, m := range merged {
+			if m.Tag == g.Tag && m.Kernel == g.Kernel {
+				ms = append(ms, m)
+			}
+		}
+		groups = append(groups, shardGroup{Tag: g.Tag, Kernel: g.Kernel, ms: ms})
+	}
+	return groups
+}
+
+// printBestTable derives the static policy table — the Static-Best,
+// SWL-diagonal and Eq. 12 scored tuples with their profiled speedups —
+// from every profile JSON in -profile-out. Pruned and exhaustive
+// campaigns of the same grid must print byte-identical tables (CI
+// diffs exactly that), because those tuples are all any experiment
+// consumes from a profile.
+func printBestTable(dir string) {
+	if dir == "" {
+		fatal(fmt.Errorf("-best needs -profile-out (the profile directory to read)"))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fatal(err)
+	}
+	params := config.DefaultPoise()
+	var rows []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			fatal(err)
+		}
+		var pr profile.Profile
+		if err := json.Unmarshal(data, &pr); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.Name(), err))
+		}
+		best := pr.Best()
+		diag := pr.BestDiagonal()
+		score, _ := pr.BestScore(params)
+		rows = append(rows, fmt.Sprintf("%-14s best (%2d,%2d) %.4fx  swl (%2d,%2d) %.4fx  score (%2d,%2d) %.4fx",
+			pr.Kernel, best.N, best.P, best.Speedup, diag.N, diag.P, diag.Speedup,
+			score.N, score.P, score.Speedup))
+	}
+	if len(rows) == 0 {
+		fatal(fmt.Errorf("no profiles in %s", dir))
+	}
+	sort.Strings(rows)
+	for _, r := range rows {
+		fmt.Println(r)
+	}
 }
 
 // catalogueKernels indexes every kernel of every catalogue workload by

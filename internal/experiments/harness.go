@@ -39,6 +39,19 @@ type Options struct {
 	EvalStepN, EvalStepP   int
 	TrainStepN, TrainStepP int
 
+	// Prune switches the profile sweeps — evaluation and training —
+	// to the adaptive coarse-to-fine refinement (profile.PrunedSweep):
+	// a coarse pass plus score-ranked neighbourhood expansion that
+	// simulates a fraction of the grid while selecting the same Best /
+	// BestDiagonal / BestScore tuples as the exhaustive sweep, which
+	// is all the tables and training consume — no figure moves. The
+	// two figures that render or walk the whole solution space (Fig. 2
+	// and Fig. 17) always sweep their one kernel exhaustively
+	// (KernelProfileFull), pruned or not. Pruned campaigns cache under
+	// a distinct tag, so pruned and exhaustive runs never share
+	// profile entries.
+	Prune bool
+
 	// Seeds for the random-restart policy (paper averages 20 runs).
 	RandomSeeds int
 
@@ -194,13 +207,31 @@ func (h *Harness) sweepOptions(train bool) profile.SweepOptions {
 	if train {
 		o.StepN, o.StepP = h.Opt.TrainStepN, h.Opt.TrainStepP
 	}
+	if h.Opt.Prune {
+		o.Refine = h.refineOptions()
+	}
 	return o
+}
+
+// refineOptions is the harness's refinement configuration: defaults,
+// ranked with the harness's Eq. 12 weights. BuildDataset passes these
+// options through to the store, so the training sweeps prune exactly
+// like the evaluation sweeps do.
+func (h *Harness) refineOptions() *profile.RefineOptions {
+	return &profile.RefineOptions{
+		W0: h.Params.ScoreW0, W1: h.Params.ScoreW1, W2: h.Params.ScoreW2,
+	}
 }
 
 // tag digests the parts of the configuration that change profiles, so
 // the on-disk cache never serves stale sweeps. Worker count is
 // deliberately excluded: parallelism never changes results.
-func (h *Harness) tag(train bool) string {
+func (h *Harness) tag(train bool) string { return h.tagMode(train, h.Opt.Prune) }
+
+// tagMode is tag with the pruning mode explicit, so the exhaustive
+// sweeps a pruned harness still needs (KernelProfileFull) key into
+// the same cache entries an unpruned run would produce.
+func (h *Harness) tagMode(train, prune bool) string {
 	s := fmt.Sprintf("sms%d-size%d-l1%d-%v", h.Opt.SMs, h.Opt.Size,
 		h.Cfg.L1.SizeBytes, h.Cfg.L1.Index)
 	if train {
@@ -210,6 +241,13 @@ func (h *Harness) tag(train bool) string {
 	}
 	if h.Opt.Seed != 0 {
 		s += fmt.Sprintf("-seed%d", h.Opt.Seed)
+	}
+	if prune {
+		// Pruned profiles carry a subset of the grid, and which subset
+		// depends on every refinement parameter: never let pruned
+		// entries collide with exhaustive ones or with a campaign
+		// refined under different parameters.
+		s += "-prune" + h.refineOptions().Tag()
 	}
 	if train {
 		// The training pipeline sweeps Cat.TrainingSet() under this one
@@ -235,7 +273,11 @@ func (h *Harness) tag(train bool) string {
 // be served stale sweeps, while the synthetic catalogue's cache stays
 // warm whatever traces come and go.
 func (h *Harness) profileTag(kernel string) string {
-	t := h.tag(false)
+	return h.profileTagMode(kernel, h.Opt.Prune)
+}
+
+func (h *Harness) profileTagMode(kernel string, prune bool) string {
+	t := h.tagMode(false, prune)
 	if d, ok := h.extraKernels[kernel]; ok {
 		t += "-" + d
 	}
@@ -263,6 +305,24 @@ func workloadDigest(w *sim.Workload) string {
 func (h *Harness) KernelProfile(k *trace.Kernel) (*profile.Profile, error) {
 	return h.profiles.Get(k.Name, func() (*profile.Profile, error) {
 		return h.store.LoadOrSweep(h.profileTag(k.Name), h.Cfg, k, h.sweepOptions(false))
+	})
+}
+
+// KernelProfileFull sweeps (or loads) the exhaustive profile of one
+// kernel regardless of Options.Prune. The solution-space figures
+// (Fig. 2's scatter/curves and PCAL walk, Fig. 17's case-study
+// rendering) consume the whole grid, which a pruned subset cannot
+// serve — they must look identical with and without -prune. Entries
+// key under the unpruned tag, so they share the cache with ordinary
+// exhaustive runs.
+func (h *Harness) KernelProfileFull(k *trace.Kernel) (*profile.Profile, error) {
+	if !h.Opt.Prune {
+		return h.KernelProfile(k)
+	}
+	return h.profiles.Get("full|"+k.Name, func() (*profile.Profile, error) {
+		opts := h.sweepOptions(false)
+		opts.Refine = nil
+		return h.store.LoadOrSweep(h.profileTagMode(k.Name, false), h.Cfg, k, opts)
 	})
 }
 

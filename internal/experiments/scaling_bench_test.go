@@ -9,6 +9,7 @@ import (
 	"poise/internal/profile"
 	"poise/internal/sim"
 	"poise/internal/testutil"
+	"poise/internal/workloads"
 )
 
 // BenchmarkFigureSweep measures the wall-clock of the Fig. 7-10/14
@@ -140,6 +141,52 @@ func BenchmarkDatasetPooledGPU(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkPrunedSweep compares the adaptive coarse-to-fine sweep
+// against the exhaustive grid on one kernel's profile at the default
+// evaluation resolution:
+//
+//	go test ./internal/experiments -bench PrunedSweep -benchtime 3x
+//
+// The pruned sweep must simulate well under half of the ~80-point
+// grid (the points/op and grid-points/op metrics make the ratio
+// explicit) and proportionally less wall-clock and allocation, while
+// selecting exactly the same Static-Best / SWL / scored tuples — the
+// property TestPrunedMatchesExhaustiveOnCatalogue asserts across the
+// whole catalogue.
+func BenchmarkPrunedSweep(b *testing.B) {
+	// The same platform and kernel scale the catalogue equivalence test
+	// verifies tuples on: a structured solution space, so the bench
+	// shows genuine pruning rather than a flat-space escalation.
+	cfg := config.Default().Scale(2)
+	k := shrinkKernel(workloads.NewCatalogue(workloads.Small).Must("ii").Kernels[0], 24, 24)
+	opts := profile.SweepOptions{StepN: 2, StepP: 2, Workers: 1}
+	b.Run("exhaustive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pr, err := profile.Sweep(cfg, k, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(pr.Points)), "points/op")
+		}
+	})
+	b.Run("pruned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pr, stats, err := profile.PrunedSweep(cfg, k, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(pr.Points) != stats.Simulated {
+				b.Fatal("stats disagree with the profile")
+			}
+			b.ReportMetric(float64(stats.Simulated), "points/op")
+			b.ReportMetric(float64(stats.GridPoints), "grid-points/op")
+			b.ReportMetric(100*stats.Fraction(), "%grid/op")
+		}
+	})
 }
 
 // BenchmarkTableIIISweep covers the coarser per-workload fan-out shape

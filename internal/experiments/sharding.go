@@ -137,3 +137,182 @@ func (h *Harness) kernelIndex() map[string]*trace.Kernel {
 	}
 	return idx
 }
+
+// Staged pruned sweeps: with Options.Prune, the evaluation sweep
+// campaign proceeds in refinement rounds, each an ordinary plan that
+// shards like any other. Workers share the cache directory, so every
+// process derives the current round from the same persisted round
+// partials — the plan is a pure function of them:
+//
+//	loop:
+//	  coordinator: RefinePlan          -> this round's plan (or done)
+//	  worker i:    RunRefineShard      -> round-shard partials in CacheDir
+//	  coordinator: MergeRefinePartials -> round partials; on convergence,
+//	               final profiles land in the regular cache
+//
+// After the final merge, ordinary -prune figure runs load the cached
+// profiles without simulating.
+
+// refineRound captures one kernel's position in its refinement.
+type refineRound struct {
+	tag    string
+	kernel *trace.Kernel
+	round  int
+	prior  []gridplan.Measurement
+}
+
+// refineRounds loads every evaluation kernel's persisted rounds and
+// returns its current position.
+func (h *Harness) refineRounds() ([]refineRound, error) {
+	if !h.Opt.Prune {
+		return nil, errors.New("experiments: staged refinement needs Options.Prune")
+	}
+	if h.Opt.CacheDir == "" {
+		return nil, errors.New("experiments: staged refinement needs a cache directory for round partials")
+	}
+	var out []refineRound
+	for _, k := range sim.DistinctKernels(h.EvalWorkloads()) {
+		tag := h.profileTag(k.Name)
+		rounds := h.store.LoadRounds(tag, k.Name)
+		prior, err := gridplan.Merge(rounds...)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: refining %s: %w", k.Name, err)
+		}
+		out = append(out, refineRound{tag: tag, kernel: k, round: len(rounds), prior: prior})
+	}
+	return out, nil
+}
+
+// RefinePlan assembles the current refinement round across every
+// evaluation kernel as one plan. done reports that every kernel's
+// refinement has converged (the plan is empty).
+func (h *Harness) RefinePlan() (*gridplan.Plan, bool, error) {
+	rrs, err := h.refineRounds()
+	if err != nil {
+		return nil, false, err
+	}
+	plan := &gridplan.Plan{Version: gridplan.PlanVersion}
+	for _, rr := range rrs {
+		kp, _, err := profile.BuildRefinePlan(rr.tag, h.Cfg, rr.kernel, h.sweepOptions(false), rr.round, rr.prior)
+		if err != nil {
+			return nil, false, err
+		}
+		plan.Tasks = append(plan.Tasks, kp.Tasks...)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, false, err
+	}
+	return plan, len(plan.Tasks) == 0, nil
+}
+
+// roundShardTag namespaces one refinement round's shard partials in
+// the store, so concurrent rounds of one campaign never mix files.
+func roundShardTag(tag string, round int) string {
+	return fmt.Sprintf("%s.r%03d", tag, round)
+}
+
+// RunRefineShard simulates this process's shard of the current
+// refinement round and persists the measurements as per-kernel
+// round-shard partials. It returns the partial files written; an
+// empty list means the refinement has converged and there is nothing
+// left to simulate.
+func (h *Harness) RunRefineShard() ([]string, error) {
+	if h.Opt.ShardCount < 1 {
+		return nil, fmt.Errorf("experiments: ShardCount %d < 1", h.Opt.ShardCount)
+	}
+	rrs, err := h.refineRounds()
+	if err != nil {
+		return nil, err
+	}
+	kernels := h.kernelIndex()
+	var files []string
+	for _, rr := range rrs {
+		kp, done, err := profile.BuildRefinePlan(rr.tag, h.Cfg, rr.kernel, h.sweepOptions(false), rr.round, rr.prior)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			continue
+		}
+		shard, err := kp.Shard(h.Opt.ShardIndex, h.Opt.ShardCount)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := profile.RunTasks(h.Cfg, kernels, shard.Tasks, h.sweepOptions(false))
+		if err != nil {
+			return nil, err
+		}
+		f, err := h.store.SaveShard(roundShardTag(rr.tag, rr.round), rr.kernel.Name,
+			h.Opt.ShardIndex, h.Opt.ShardCount, ms)
+		if err != nil {
+			return files, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// MergeRefinePartials folds the current round's shard partials into
+// per-kernel round partials, verifying each kernel's round coverage
+// against its plan (a lost shard fails loudly). When every kernel has
+// converged it assembles the final profiles into the regular cache —
+// after that, pruned figure runs load them without simulating — and
+// returns done = true.
+func (h *Harness) MergeRefinePartials() (bool, error) {
+	rrs, err := h.refineRounds()
+	if err != nil {
+		return false, err
+	}
+	for i := range rrs {
+		rr := &rrs[i]
+		kp, done, err := profile.BuildRefinePlan(rr.tag, h.Cfg, rr.kernel, h.sweepOptions(false), rr.round, rr.prior)
+		if err != nil {
+			return false, err
+		}
+		if done {
+			continue
+		}
+		shards, err := h.store.LoadShards(roundShardTag(rr.tag, rr.round), rr.kernel.Name)
+		if err != nil {
+			return false, fmt.Errorf("experiments: refining %s round %d: %w", rr.kernel.Name, rr.round, err)
+		}
+		merged, err := gridplan.Merge(shards...)
+		if err != nil {
+			return false, err
+		}
+		if err := kp.Verify(merged); err != nil {
+			return false, fmt.Errorf("experiments: refining %s round %d: %w", rr.kernel.Name, rr.round, err)
+		}
+		if err := h.store.SaveRound(rr.tag, rr.kernel.Name, rr.round, merged); err != nil {
+			return false, err
+		}
+		// Advance the in-memory position past the round just merged —
+		// the same state a fresh refineRounds would re-read from disk.
+		if rr.prior, err = gridplan.Merge(rr.prior, merged); err != nil {
+			return false, err
+		}
+		rr.round++
+	}
+	// If every kernel is now converged, assemble and cache the final
+	// profiles.
+	for i := range rrs {
+		rr := rrs[i]
+		_, done, err := profile.BuildRefinePlan(rr.tag, h.Cfg, rr.kernel, h.sweepOptions(false), rr.round, rr.prior)
+		if err != nil {
+			return false, err
+		}
+		if !done {
+			return false, nil
+		}
+	}
+	for _, rr := range rrs {
+		pr, err := profile.MergeShards(rr.kernel.Name, rr.prior)
+		if err != nil {
+			return false, err
+		}
+		if err := h.store.Save(rr.tag, pr); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}

@@ -37,7 +37,8 @@ func (h *Harness) Fig2() (*SpaceResult, error) {
 }
 
 func (h *Harness) spaceFor(k *trace.Kernel) (*SpaceResult, error) {
-	pr, err := h.KernelProfile(k)
+	// The whole space is rendered and walked: always exhaustive.
+	pr, err := h.KernelProfileFull(k)
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +236,8 @@ type CaseStudyResult struct {
 func (h *Harness) Fig17() (*CaseStudyResult, error) {
 	w := h.Cat.Must("bfs")
 	k := w.Kernels[0]
-	pr, err := h.KernelProfile(k)
+	// The case study renders the full space: always exhaustive.
+	pr, err := h.KernelProfileFull(k)
 	if err != nil {
 		return nil, err
 	}

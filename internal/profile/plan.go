@@ -30,10 +30,7 @@ import (
 // simulating.
 func BuildPlan(tag string, cfg config.Config, k *trace.Kernel, opts SweepOptions) *gridplan.Plan {
 	opts = opts.withDefaults()
-	maxN := cfg.WarpsPerSched
-	if k.MaxWarpsPerSched > 0 && k.MaxWarpsPerSched < maxN {
-		maxN = k.MaxWarpsPerSched
-	}
+	maxN := kernelMaxN(cfg, k)
 	digest := gridplan.KernelDigest(k)
 	plan := &gridplan.Plan{Version: gridplan.PlanVersion}
 	for _, c := range gridplan.Enumerate(maxN, opts.StepN, opts.StepP) {
@@ -174,6 +171,7 @@ func MergeShards(kernel string, shards ...[]gridplan.Measurement) (*Profile, err
 		}
 		return pr.Points[i].P < pr.Points[j].P
 	})
+	pr.buildIndex()
 	return pr, nil
 }
 
@@ -185,6 +183,12 @@ func MergeShards(kernel string, shards ...[]gridplan.Measurement) (*Profile, err
 func SweepTag(cfg config.Config, opts SweepOptions) string {
 	opts = opts.withDefaults()
 	s := fmt.Sprintf("%+v|%d.%d", cfg, opts.StepN, opts.StepP)
+	if opts.Refine != nil {
+		// Pruned profiles carry a subset of the grid, so a pruned
+		// campaign must never collide with an exhaustive one — or with
+		// a pruned one refined under different parameters.
+		s += "|prune" + opts.Refine.Tag()
+	}
 	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:6])
 }

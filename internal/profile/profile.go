@@ -38,16 +38,49 @@ type Profile struct {
 	// the baseline run, used by the training pipeline.
 	BaselineCycles int64
 	BaselineInstr  int64
+
+	// index maps (N, P) to the point's position in Points, so
+	// BestScore's 9-neighbour probes are O(1) per point instead of a
+	// linear scan. It is built eagerly wherever profiles are
+	// constructed for consumers (MergeShards, Store.Load) — never
+	// lazily, so two profiles with the same points always compare
+	// reflect.DeepEqual regardless of how many queries either has
+	// served. It is unexported and rebuilt after JSON decoding, so
+	// serialised profiles are byte-identical to the pre-index format.
+	// Hand-assembled profiles (tests, synthetic fixtures) may leave it
+	// nil: Lookup falls back to the linear scan. Points must not grow
+	// after buildIndex (mutating a point's metrics in place is fine —
+	// the index only keys coordinates).
+	index map[[2]int]int
 }
 
 // Lookup returns the point at (n, p) and whether it was swept.
 func (pr *Profile) Lookup(n, p int) (Point, bool) {
+	if pr.index != nil {
+		if i, ok := pr.index[[2]int{n, p}]; ok {
+			return pr.Points[i], true
+		}
+		return Point{}, false
+	}
 	for _, pt := range pr.Points {
 		if pt.N == n && pt.P == p {
 			return pt, true
 		}
 	}
 	return Point{}, false
+}
+
+// buildIndex indexes Points by coordinate; the first occurrence wins,
+// matching what the linear scan used to return for (malformed)
+// profiles with duplicate tuples.
+func (pr *Profile) buildIndex() {
+	pr.index = make(map[[2]int]int, len(pr.Points))
+	for i, pt := range pr.Points {
+		key := [2]int{pt.N, pt.P}
+		if _, dup := pr.index[key]; !dup {
+			pr.index[key] = i
+		}
+	}
 }
 
 // Best returns the highest-speedup point.
@@ -93,6 +126,14 @@ type SweepOptions struct {
 	// fresh construction — so this exists only as a cross-check and for
 	// the allocation benchmarks.
 	FreshGPUs bool
+	// Refine switches sweeps to adaptive coarse-to-fine pruning (see
+	// refine.go): LoadOrSweep runs PrunedSweep rounds instead of the
+	// exhaustive grid, caching completed rounds for resume. nil means
+	// exhaustive. The pruned profile contains only the simulated
+	// subset of the grid, so callers that consume more than the
+	// Best/BestDiagonal/BestScore optima and the corner points should
+	// keep Refine nil.
+	Refine *RefineOptions
 }
 
 func (o SweepOptions) withDefaults() SweepOptions {
@@ -222,10 +263,16 @@ func (s Store) Load(tag, kernel string) (*Profile, error) {
 	if pr.Kernel == "" || len(pr.Points) == 0 {
 		return nil, fmt.Errorf("profile: %s: %w (decoded to an empty profile)", s.path(tag, kernel), ErrCorrupt)
 	}
+	pr.buildIndex()
 	return &pr, nil
 }
 
-// Save writes a profile to the cache.
+// Save writes a profile to the cache. The write is crash-safe: the
+// JSON goes to a temporary file in the same directory which is then
+// renamed over the entry, so a crash mid-write leaves either the old
+// entry or the new one, never a truncated file — the ErrCorrupt
+// repair path stays a defence against external damage rather than the
+// only thing standing between a crash and a poisoned cache.
 func (s Store) Save(tag string, pr *Profile) error {
 	if s.Dir == "" {
 		return errors.New("profile: store has no directory")
@@ -237,16 +284,40 @@ func (s Store) Save(tag string, pr *Profile) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(s.path(tag, pr.Kernel), data, 0o644)
+	tmp, err := os.CreateTemp(s.Dir, pr.Kernel+".*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Chmod(0o644)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), s.path(tag, pr.Kernel))
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("profile: saving %s: %w", s.path(tag, pr.Kernel), err)
+	}
+	return nil
 }
 
 // LoadOrSweep returns the cached profile or runs the sweep and caches
 // it. A corrupt cache entry (ErrCorrupt) is treated like a miss: the
 // sweep re-runs and Save overwrites the damaged file, so a truncated
-// write from a crashed run can never abort later runs.
+// write from a crashed run can never abort later runs. With
+// opts.Refine set the sweep is the adaptive pruned one, resuming from
+// any cached refinement rounds (see refine.go); callers key pruned
+// and exhaustive campaigns under different tags, since the cached
+// profiles differ in which grid points they carry.
 func (s Store) LoadOrSweep(tag string, cfg config.Config, k *trace.Kernel, opts SweepOptions) (*Profile, error) {
 	if pr, err := s.Load(tag, k.Name); err == nil {
 		return pr, nil
+	}
+	if opts.Refine != nil {
+		return s.loadOrPrunedSweep(tag, cfg, k, opts)
 	}
 	pr, err := Sweep(cfg, k, opts)
 	if err != nil {

@@ -3,6 +3,7 @@ package profile
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"poise/internal/config"
@@ -164,6 +165,122 @@ func TestStoreMissAndCorrupt(t *testing.T) {
 	empty := Store{}
 	if err := empty.Save("t", &Profile{Kernel: "k"}); err == nil {
 		t.Fatal("dirless store cannot save")
+	}
+}
+
+// TestLookupIndexMatchesScan pins the O(1) point index against the
+// linear-scan semantics it replaced, duplicates included (first
+// occurrence wins) — both before the index is built (hand-assembled
+// profiles use the fallback scan) and after.
+func TestLookupIndexMatchesScan(t *testing.T) {
+	pr := &Profile{Kernel: "idx", MaxN: 5}
+	for n := 1; n <= 5; n++ {
+		for p := 1; p <= n; p++ {
+			pr.Points = append(pr.Points, Point{N: n, P: p, IPC: float64(n*10 + p)})
+		}
+	}
+	pr.Points = append(pr.Points, Point{N: 3, P: 2, IPC: -1}) // malformed duplicate
+	scan := func(n, p int) (Point, bool) {
+		for _, pt := range pr.Points {
+			if pt.N == n && pt.P == p {
+				return pt, true
+			}
+		}
+		return Point{}, false
+	}
+	check := func(mode string) {
+		for n := 0; n <= 6; n++ {
+			for p := 0; p <= 6; p++ {
+				got, okGot := pr.Lookup(n, p)
+				want, okWant := scan(n, p)
+				if okGot != okWant || got != want {
+					t.Fatalf("%s Lookup(%d,%d) = %+v,%v, scan says %+v,%v", mode, n, p, got, okGot, want, okWant)
+				}
+			}
+		}
+	}
+	check("unindexed")
+	pr.buildIndex()
+	check("indexed")
+}
+
+// TestSweptProfilesDeepEqual: profiles from a sweep and from the cache
+// must stay reflect.DeepEqual however many queries either has served —
+// the index is built eagerly at construction, never mutated by reads.
+func TestSweptProfilesDeepEqual(t *testing.T) {
+	st := Store{Dir: t.TempDir()}
+	pr := sweepTiny(t)
+	if err := st.Save("t", pr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := st.Load("t", pr.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.BestScore(config.DefaultPoise()) // exercise lookups on one side only
+	if !reflect.DeepEqual(pr, back) {
+		t.Fatal("swept and loaded profiles are not DeepEqual")
+	}
+}
+
+// TestProfileJSONStableAcrossIndex: the index must never leak
+// into the serialised form — encode, decode, query (which builds the
+// index), and re-encode must be byte-identical.
+func TestProfileJSONStableAcrossIndex(t *testing.T) {
+	dir := t.TempDir()
+	st := Store{Dir: dir}
+	pr := sweepTiny(t)
+	if err := st.Save("tag", pr); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(st.path("tag", pr.Kernel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := st.Load("tag", pr.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.Lookup(1, 1); !ok {
+		t.Fatal("decoded profile misses (1,1)")
+	}
+	if err := st.Save("tag", back); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(st.path("tag", pr.Kernel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatal("JSON round trip is not byte-identical after the index is built")
+	}
+}
+
+// TestSaveAtomic: Save must leave no temporary droppings and must
+// replace a corrupt entry wholesale (the rename is the commit point).
+func TestSaveAtomic(t *testing.T) {
+	st := Store{Dir: t.TempDir()}
+	pr := sweepTiny(t)
+	// Pre-damage the entry; Save must atomically replace it.
+	if err := os.WriteFile(st.path("t", pr.Kernel), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save("t", pr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := st.Load("t", pr.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Best() != pr.Best() {
+		t.Fatal("atomic save lost data")
+	}
+	files, err := filepath.Glob(filepath.Join(st.Dir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Fatalf("Save left temporary files behind: %v", files)
 	}
 }
 
