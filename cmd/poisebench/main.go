@@ -34,6 +34,15 @@
 // in-process grid, so the final tables are byte-identical to an
 // unsharded run with the cache disabled (CI asserts exactly that).
 //
+// The fleet service mode serves the same campaigns over HTTP instead
+// of files — one coordinator (-serve), any number of long-lived
+// workers (-worker), crash recovery via lease expiry, work stealing
+// for stragglers, and merged results landing directly in -cache:
+//
+//	poisebench -run fig7 -cache c -serve :9444     # coordinator
+//	poisebench -worker http://host:9444 -cache c   # terminal 2..N
+//	poisebench -run fig7 -cache c                  # loads merged cells
+//
 // -prune switches every profile sweep to adaptive coarse-to-fine
 // refinement: a fraction of each {N,p} grid is simulated while the
 // Static-Best, SWL and scored tuples — all any experiment consumes —
@@ -105,6 +114,13 @@ func main() {
 		emitPlan = flag.String("emit-plan", "", "write the profile sweep plan (-run all) or one experiment's cell grid plan (-run <exp>) as JSONL to this file and exit")
 		shardStr = flag.String("shard", "", "run shard i/N of the profile sweeps or of -run's experiment grid, persist partials in -cache, and exit (format \"i/N\")")
 		mergeSh  = flag.Bool("merge-shards", false, "merge shard partials in -cache into full cached profiles (-run all) or merged experiment cells (-run <exp>) and exit")
+
+		// Fleet coordinator/worker service (package fleet): the same
+		// campaigns over HTTP, with crash recovery and work stealing.
+		serveAddr = flag.String("serve", "", "run the fleet coordinator on this listen address, serving -run's campaign (profile sweeps, -prune refinement rounds, or one experiment grid) and merging results into -cache")
+		workerURL = flag.String("worker", "", "run a fleet worker pulling task leases from the coordinator at this base URL")
+		leaseN    = flag.Int("lease-tasks", 0, "-serve: tasks per lease batch (0 = default)")
+		leaseTTL  = flag.Duration("lease-ttl", 0, "-serve: lease expiry deadline, renewed on each completed task (0 = default)")
 	)
 	flag.Parse()
 
@@ -151,6 +167,21 @@ func main() {
 		opt.ShardIndex, opt.ShardCount = i, n
 	}
 	h := experiments.NewHarness(opt)
+
+	if *serveAddr != "" || *workerURL != "" {
+		err := runFleetMode(ctx, h, benchFleetFlags{
+			serve: *serveAddr, worker: *workerURL,
+			leaseTasks: *leaseN, leaseTTL: *leaseTTL,
+			run: *run, cacheDir: *cacheDir,
+			emitPlan: *emitPlan, shard: *shardStr, merge: *mergeSh,
+			prune: *prune,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "poisebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *emitPlan != "" || *shardStr != "" || *mergeSh {
 		if err := runShardMode(h, *run, *emitPlan, *shardStr, *mergeSh); err != nil {

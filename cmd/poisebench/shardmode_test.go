@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunShardModeRejectsBadRunSelections: the file-based shard flow
+// must reject experiment lists and non-grid-backed experiments before
+// touching the harness (the nil harness below proves nothing else
+// runs).
+func TestRunShardModeRejectsBadRunSelections(t *testing.T) {
+	cases := []struct {
+		name    string
+		run     string
+		wantErr string
+	}{
+		{"experiment list", "fig7,fig11", "single experiment"},
+		{"non-grid experiment", "fig2", "not grid-backed"},
+		{"unknown experiment", "fig99", "not grid-backed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := runShardMode(nil, tc.run, "p.jsonl", "", false)
+			if err == nil {
+				t.Fatalf("runShardMode(run=%q) = nil, want error containing %q", tc.run, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("runShardMode(run=%q) = %q, want it to contain %q", tc.run, err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestValidateFleetFlags: every inconsistent -serve/-worker flag
+// combination must fail fast with a message naming the offending flag,
+// and the legitimate combinations must pass.
+func TestValidateFleetFlags(t *testing.T) {
+	serve := func(mut func(*fleetFlags)) fleetFlags {
+		f := fleetFlags{serve: ":0", planPath: "plan.jsonl", profileDir: "profs"}
+		if mut != nil {
+			mut(&f)
+		}
+		return f
+	}
+	worker := func(mut func(*fleetFlags)) fleetFlags {
+		f := fleetFlags{worker: "http://host:9444"}
+		if mut != nil {
+			mut(&f)
+		}
+		return f
+	}
+	cases := []struct {
+		name    string
+		flags   fleetFlags
+		wantErr string // "" = must pass
+	}{
+		{"serve with plan", serve(nil), ""},
+		{"serve with prune", serve(func(f *fleetFlags) { f.planPath = ""; f.prune = true }), ""},
+		{"serve with lease knobs", serve(func(f *fleetFlags) { f.leaseTasks = 4; f.leaseTTL = time.Minute }), ""},
+		{"plain worker", worker(nil), ""},
+		{"worker with chaos hooks", worker(func(f *fleetFlags) { f.dieAfter = 3; f.taskDelay = time.Second }), ""},
+		{"worker with prune (matches coordinator config)", worker(func(f *fleetFlags) { f.prune = true }), ""},
+
+		{"neither serve nor worker", fleetFlags{}, "-serve or -worker"},
+		{"both serve and worker", fleetFlags{serve: ":0", worker: "http://h"}, "mutually exclusive"},
+		{"serve with emit-plan", serve(func(f *fleetFlags) { f.emitPlan = "p.jsonl" }), "-emit-plan"},
+		{"worker with shard", worker(func(f *fleetFlags) { f.shard = "0/2" }), "-shard"},
+		{"serve with merge-shards", serve(func(f *fleetFlags) { f.merge = "a,b" }), "-merge-shards"},
+		{"serve with sweep", serve(func(f *fleetFlags) { f.sweep = true }), "-sweep"},
+		{"worker with best", worker(func(f *fleetFlags) { f.best = true }), "-best"},
+		{"serve with plan and prune", serve(func(f *fleetFlags) { f.prune = true }), "not both"},
+		{"serve without plan or prune", serve(func(f *fleetFlags) { f.planPath = "" }), "campaign source"},
+		{"serve without profile-out", serve(func(f *fleetFlags) { f.profileDir = "" }), "-profile-out"},
+		{"serve with die-after", serve(func(f *fleetFlags) { f.dieAfter = 3 }), "worker flags"},
+		{"serve with task-delay", serve(func(f *fleetFlags) { f.taskDelay = time.Second }), "worker flags"},
+		{"worker with plan", worker(func(f *fleetFlags) { f.planPath = "p.jsonl" }), "coordinator flag"},
+		{"worker with profile-out", worker(func(f *fleetFlags) { f.profileDir = "d" }), "coordinator flag"},
+		{"worker with lease-tasks", worker(func(f *fleetFlags) { f.leaseTasks = 4 }), "coordinator flags"},
+		{"worker with lease-ttl", worker(func(f *fleetFlags) { f.leaseTTL = time.Minute }), "coordinator flags"},
+		{"negative lease-tasks", serve(func(f *fleetFlags) { f.leaseTasks = -1 }), "-lease-tasks"},
+		{"negative lease-ttl", serve(func(f *fleetFlags) { f.leaseTTL = -time.Second }), "-lease-ttl"},
+		{"negative die-after", worker(func(f *fleetFlags) { f.dieAfter = -1 }), "-die-after"},
+		{"negative task-delay", worker(func(f *fleetFlags) { f.taskDelay = -time.Second }), "-task-delay"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFleetFlags(tc.flags)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFleetFlags(%+v) = %v, want nil", tc.flags, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateFleetFlags(%+v) = nil, want error containing %q", tc.flags, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateFleetFlags(%+v) = %q, want it to contain %q", tc.flags, err, tc.wantErr)
+			}
+		})
+	}
+}

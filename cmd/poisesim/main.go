@@ -58,6 +58,18 @@
 // -size, -seed, -stepn/-stepp); the plan's configuration tag and
 // workload digests are verified first, so mismatches fail fast.
 //
+// The fleet service mode (package fleet) replaces the file round-trip
+// with a live coordinator and long-lived workers over HTTP:
+//
+//	poisesim -serve :9444 -plan plan.jsonl -profile-out profs   # coordinator
+//	poisesim -worker http://host:9444                           # any number
+//
+// Workers may join late, crash mid-lease (expiry requeues their tasks)
+// or run slow (idle workers steal queued tasks from loaded ones); the
+// merged output is byte-identical to the single-process run in every
+// case. `-serve -prune` drives the whole staged refinement loop as one
+// campaign, publishing each round's plan as the next generation.
+//
 // Adaptive sweep pruning (-prune) replaces the exhaustive grid with a
 // coarse pass plus score-ranked neighbourhood refinement, simulating a
 // fraction of the points while selecting the same Static-Best, SWL and
@@ -130,6 +142,17 @@ func main() {
 		stepP    = flag.Int("stepp", 2, "sweep grid p step for the plan/sweep modes")
 		cacheDir = flag.String("cache", "", "profile cache directory for cell-plan shards ('' = none; share one across workers and with the poisebench coordinator so profile-hungry grids sweep once)")
 		seeds    = flag.Int("seeds", 3, "random-restart trials for alternatives-grid (fig15) cell plans; must match the coordinator's -seeds")
+
+		// Fleet coordinator/worker service (package fleet): serve a plan
+		// over HTTP, pull leases from long-lived workers, merge streamed
+		// results; survives worker crashes (lease expiry) and rebalances
+		// loaded workers (stealing) with byte-identical merged output.
+		serveAddr = flag.String("serve", "", "run the fleet coordinator on this listen address, serving -plan (or the -prune refinement loop) to -worker processes, and save merged output under -profile-out")
+		workerURL = flag.String("worker", "", "run a fleet worker pulling task leases from the coordinator at this base URL (e.g. http://host:9444)")
+		leaseN    = flag.Int("lease-tasks", 0, "-serve: tasks per lease batch (0 = default)")
+		leaseTTL  = flag.Duration("lease-ttl", 0, "-serve: lease expiry deadline, renewed on each completed task (0 = default)")
+		dieAfter  = flag.Int("die-after", 0, "-worker: exit mid-lease after completing this many tasks (chaos/CI hook; 0 = never)")
+		taskDelay = flag.Duration("task-delay", 0, "-worker: sleep this long before each task (chaos/CI hook to provoke stealing)")
 	)
 	flag.Parse()
 
@@ -207,6 +230,25 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *serveAddr != "" || *workerURL != "" {
+		runFleetMode(sweepModeArgs{
+			cfg: cfg, cat: cat, selected: ws, ctx: ctx,
+			planPath: *planPth, profileDir: *profDir, prune: *pruneRun,
+			sms: *sms, size: parseSize(*size),
+			cacheDir: *cacheDir, seeds: *seeds, extra: extra,
+			stepN: *stepN, stepP: *stepP, workers: *parallel, seed: *seed,
+		}, fleetFlags{
+			serve: *serveAddr, worker: *workerURL,
+			leaseTasks: *leaseN, leaseTTL: *leaseTTL,
+			dieAfter: *dieAfter, taskDelay: *taskDelay,
+			planPath: *planPth, emitPlan: *emitPlan,
+			shard: *shardStr, merge: *mergeStr,
+			profileDir: *profDir, sweep: *sweepRun,
+			best: *bestRun, prune: *pruneRun,
+		})
+		return
+	}
 
 	if *emitPlan != "" || *shardStr != "" || *mergeStr != "" || *sweepRun || *bestRun {
 		runSweepMode(sweepModeArgs{

@@ -86,7 +86,54 @@ func (a sweepModeArgs) harness() *experiments.Harness {
 	})
 }
 
+// validateSweepFlags rejects inconsistent file-based mode combinations
+// before any file is read or task simulated. The cases mirror
+// runSweepMode's dispatch order exactly, so the check always applies
+// to the mode that would actually run; the table-driven cmd tests
+// exercise every branch.
+func validateSweepFlags(a sweepModeArgs) error {
+	switch {
+	case a.best:
+		if a.profileDir == "" {
+			return fmt.Errorf("-best needs -profile-out (the profile directory to read)")
+		}
+	case a.prune && a.emitPlan != "":
+		if a.cacheDir == "" {
+			return fmt.Errorf("-prune -emit-plan needs -cache for round partials")
+		}
+	case a.prune && a.merge != "":
+		if a.planPath == "" || a.cacheDir == "" {
+			return fmt.Errorf("-prune -merge-shards needs -plan and -cache")
+		}
+	case a.prune && a.sweep:
+		if a.profileDir == "" {
+			return fmt.Errorf("-prune -sweep needs -profile-out")
+		}
+	case a.emitPlan != "":
+		// Plan emission needs only the workload selection.
+	case a.shard != "":
+		if _, _, err := gridplan.ParseShard(a.shard); err != nil {
+			return err
+		}
+		if a.planPath == "" || a.shardOut == "" {
+			return fmt.Errorf("-shard needs -plan and -shard-out")
+		}
+	case a.merge != "":
+		if a.planPath == "" || a.profileDir == "" {
+			return fmt.Errorf("-merge-shards needs -plan and -profile-out")
+		}
+	case a.sweep:
+		if a.profileDir == "" {
+			return fmt.Errorf("-sweep needs -profile-out")
+		}
+	}
+	return nil
+}
+
 func runSweepMode(a sweepModeArgs) {
+	if err := validateSweepFlags(a); err != nil {
+		fatal(err)
+	}
 	opts := profile.SweepOptions{StepN: a.stepN, StepP: a.stepP, Workers: a.workers, Ctx: a.ctx}
 	if a.prune {
 		// Default refinement parameters; folding them into the tag

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"poise/internal/profile"
+	"poise/internal/results"
+	"poise/internal/trace"
+)
+
+// Accessors for the fleet coordinator/worker modes (package fleet,
+// cmd/poisebench -serve/-worker): a fleet campaign over the harness's
+// evaluation sweep needs the kernel set, the per-kernel profile-cache
+// tags, the sweep options and the stores — the same values the
+// file-based shard flow wires through RunShard/MergeShardPartials —
+// without reaching into harness internals.
+
+// EvalKernels returns the evaluation kernel index (every kernel of
+// every evaluation workload, by name).
+func (h *Harness) EvalKernels() map[string]*trace.Kernel { return h.kernelIndex() }
+
+// ProfileTags maps each evaluation kernel to its profile-cache tag.
+func (h *Harness) ProfileTags() map[string]string {
+	tags := map[string]string{}
+	for name := range h.kernelIndex() {
+		tags[name] = h.profileTag(name)
+	}
+	return tags
+}
+
+// EvalSweepOptions returns the evaluation-grid sweep options,
+// including the refinement parameters when the harness prunes.
+func (h *Harness) EvalSweepOptions() profile.SweepOptions { return h.sweepOptions(false) }
+
+// ProfileStore returns the harness's profile cache store.
+func (h *Harness) ProfileStore() profile.Store { return h.store }
+
+// CellStore returns the harness's experiment-cell cache store.
+func (h *Harness) CellStore() results.Store { return h.cellStore }

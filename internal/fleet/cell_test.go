@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"poise/internal/experiments"
+	"poise/internal/gridplan"
+	"poise/internal/results"
+	"poise/internal/workloads"
+)
+
+// cellOptions mirrors the experiments test-suite subset: 2 SMs, the
+// small workload scale, one evaluation workload, and a coarse profile
+// grid. CacheDir stays empty so each harness memoises its own
+// profiles in memory — workers share nothing but the wire.
+func cellOptions() experiments.Options {
+	return experiments.Options{
+		SMs: 2, Size: workloads.Small,
+		EvalStepN: 12, EvalStepP: 12, TrainStepN: 12, TrainStepP: 12,
+		Workers:    1,
+		EvalSubset: []string{"bfs"},
+	}
+}
+
+// TestCellCampaignByteIdentical: an experiment grid distributed over
+// two workers — each with its own independently-constructed harness —
+// must save a results store byte-identical to the single-process run.
+func TestCellCampaignByteIdentical(t *testing.T) {
+	if raceEnabled {
+		t.Skip("cell simulation is ~10x slower under -race; the fleet protocol is race-covered by the profile chaos tests")
+	}
+	const grid = "scheme"
+	h := experiments.NewHarness(cellOptions())
+	plan, err := h.CellPlan(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Sort()
+	cells, err := h.RunCellTasks(grid, plan.Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := results.Merge(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDir := t.TempDir()
+	if err := (results.Store{Dir: refDir}).Save(merged[0].Tag, grid, merged); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fleet: a fresh plan (so the campaign, not the reference run,
+	// defines what workers see) and two workers with separate
+	// harnesses.
+	campPlan, err := experiments.NewHarness(cellOptions()).CellPlan(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkWorker := func(name string) *Worker {
+		return &Worker{Name: name, Executors: map[string]Executor{
+			gridplan.CellPlanFormat: CellExecutor{H: experiments.NewHarness(cellOptions())},
+		}}
+	}
+	fopts := Options{LeaseTasks: 2, LeaseTTL: 5 * time.Minute, Logf: t.Logf}
+	res, coord := fleetRun(t, CellCampaign{Plan: campPlan}, fopts,
+		[]*Worker{mkWorker("w1"), mkWorker("w2")}, nil)
+	if st := coord.Stats(); st.Tasks != len(campPlan.Cells) {
+		t.Fatalf("stats %+v, want %d tasks", st, len(campPlan.Cells))
+	}
+
+	fleetDir := t.TempDir()
+	tag, gotGrid, n, err := SaveCells(results.Store{Dir: fleetDir}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != merged[0].Tag || gotGrid != grid || n != len(merged) {
+		t.Fatalf("SaveCells = (%s, %s, %d), want (%s, %s, %d)", tag, gotGrid, n, merged[0].Tag, grid, len(merged))
+	}
+	if ref, got := dirBytes(t, refDir), dirBytes(t, fleetDir); !reflect.DeepEqual(ref, got) {
+		t.Fatal("fleet cell store differs from single-process store")
+	}
+}

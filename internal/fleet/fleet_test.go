@@ -1,0 +1,396 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"poise/internal/gridplan"
+	"poise/internal/profile"
+	"poise/internal/testutil"
+	"poise/internal/trace"
+)
+
+// fleetRun serves camp on a local HTTP server and runs the given
+// workers against it concurrently, returning the coordinator's
+// results. Worker errors other than allowErr fail the test.
+func fleetRun(t *testing.T, camp Campaign, opts Options, workers []*Worker, allowErr error) ([]Result, *Coordinator) {
+	t.Helper()
+	coord, err := NewCoordinator(camp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, len(workers))
+	for i, w := range workers {
+		w.Base = srv.URL
+		if w.Poll == 0 {
+			w.Poll = 5 * time.Millisecond
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = w.Run(ctx)
+		}()
+	}
+	res, werr := coord.Wait(ctx)
+	if werr != nil {
+		t.Fatalf("campaign failed: %v", werr)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && err != allowErr {
+			t.Fatalf("worker %s: %v", workers[i].Name, err)
+		}
+	}
+	return res, coord
+}
+
+// dirBytes reads every file under dir into a path-keyed map, for
+// byte-level directory comparison.
+func dirBytes(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		out[rel] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatalf("no files under %s", dir)
+	}
+	return out
+}
+
+func profileExecutors(kernels map[string]*trace.Kernel, opts profile.SweepOptions) map[string]Executor {
+	return map[string]Executor{
+		gridplan.ProfilePlanFormat: ProfileExecutor{Cfg: testutil.TinyConfig(), Kernels: kernels, Opts: opts},
+	}
+}
+
+// TestFleetByteIdenticalUnderKillAndStealAndExpiry is the acceptance
+// invariant of the fleet: a three-worker run in which one worker is
+// killed mid-lease, at least one batch is stolen, and at least one
+// lease expires must write a profile store byte-identical to the
+// single-process sweep. The chaos is guaranteed, not incidental: the
+// victim dies holding 3 pending tasks; once the queue drains, an idle
+// worker's grant must steal from that dead lease (its pending count
+// is at least StealMin); and because stealing halves leave a final
+// task below StealMin, only TTL expiry can recover it.
+func TestFleetByteIdenticalUnderKillAndStealAndExpiry(t *testing.T) {
+	cfg := testutil.TinyConfig()
+	k := testutil.ThrashKernel("fleetchaos", 20, 12, 4)
+	opts := profile.SweepOptions{StepN: 4, StepP: 4}
+	tag := "fleettag"
+	kernels := map[string]*trace.Kernel{k.Name: k}
+
+	// Reference: the plan run in-process through the same executor and
+	// merge code a shard run uses.
+	plan := profile.BuildPlan(tag, cfg, k, opts)
+	if len(plan.Tasks) < 12 {
+		t.Fatalf("plan has only %d tasks; the chaos schedule needs more", len(plan.Tasks))
+	}
+	ms, err := profile.RunTasks(cfg, kernels, plan.Tasks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := profile.MergeShards(k.Name, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDir := t.TempDir()
+	if err := (profile.Store{Dir: refDir}).Save(tag, pr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fleet: victim completes one task and dies holding the rest of its
+	// 4-task lease; slow makes steady progress; fast drains the queue
+	// and then steals.
+	kill := testutil.NewKillSwitch(1)
+	victim := &Worker{Name: "victim", Executors: profileExecutors(kernels, opts), BeforeTask: kill.Hook}
+	slow := &Worker{Name: "slow", Executors: profileExecutors(kernels, opts),
+		BeforeTask: func(int) error { time.Sleep(20 * time.Millisecond); return nil }}
+	fast := &Worker{Name: "fast", Executors: profileExecutors(kernels, opts)}
+
+	fopts := Options{LeaseTasks: 4, LeaseTTL: 700 * time.Millisecond, StealMin: 2, Logf: t.Logf}
+	res, coord := fleetRun(t, ProfileCampaign{Plan: plan}, fopts,
+		[]*Worker{victim, slow, fast}, testutil.ErrKilled)
+
+	if !kill.Fired() {
+		t.Fatal("kill switch never fired: the victim was not killed mid-lease")
+	}
+	st := coord.Stats()
+	if st.StolenBatches < 1 {
+		t.Fatalf("stats %+v: no batch was stolen", st)
+	}
+	if st.Expired < 1 {
+		t.Fatalf("stats %+v: no lease expired", st)
+	}
+	if st.Tasks != len(plan.Tasks) || len(res) != len(plan.Tasks) {
+		t.Fatalf("%d results for %d tasks (stats %+v)", len(res), len(plan.Tasks), st)
+	}
+
+	fleetDir := t.TempDir()
+	names, err := SaveProfiles(profile.Store{Dir: fleetDir}, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{k.Name}) {
+		t.Fatalf("saved kernels %v, want [%s]", names, k.Name)
+	}
+	if ref, got := dirBytes(t, refDir), dirBytes(t, fleetDir); !reflect.DeepEqual(ref, got) {
+		t.Fatalf("fleet store differs from single-process store:\nref  %v\ngot  %v", ref, got)
+	}
+}
+
+// TestFleetStealRebalancesWithoutExpiry: with an effectively infinite
+// TTL, work still rebalances — a fast worker steals the slow worker's
+// tail instead of idling — and the output is unchanged.
+func TestFleetStealRebalancesWithoutExpiry(t *testing.T) {
+	cfg := testutil.TinyConfig()
+	k := testutil.ThrashKernel("fleetsteal", 20, 12, 4)
+	opts := profile.SweepOptions{StepN: 4, StepP: 4}
+	kernels := map[string]*trace.Kernel{k.Name: k}
+	plan := profile.BuildPlan("stealtag", cfg, k, opts)
+
+	ms, err := profile.RunTasks(cfg, kernels, plan.Tasks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := profile.MergeShards(k.Name, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDir := t.TempDir()
+	if err := (profile.Store{Dir: refDir}).Save("stealtag", pr); err != nil {
+		t.Fatal(err)
+	}
+
+	slow := &Worker{Name: "slow", Executors: profileExecutors(kernels, opts),
+		BeforeTask: func(int) error { time.Sleep(80 * time.Millisecond); return nil }}
+	fast := &Worker{Name: "fast", Executors: profileExecutors(kernels, opts)}
+	fopts := Options{LeaseTasks: 8, LeaseTTL: time.Hour, StealMin: 2, Logf: t.Logf}
+	res, coord := fleetRun(t, ProfileCampaign{Plan: plan}, fopts, []*Worker{slow, fast}, nil)
+
+	st := coord.Stats()
+	if st.StolenBatches < 1 {
+		t.Fatalf("stats %+v: the fast worker never stole from the slow one", st)
+	}
+	if st.Expired != 0 {
+		t.Fatalf("stats %+v: nothing should expire under an hour-long TTL", st)
+	}
+	fleetDir := t.TempDir()
+	if _, err := SaveProfiles(profile.Store{Dir: fleetDir}, res); err != nil {
+		t.Fatal(err)
+	}
+	if ref, got := dirBytes(t, refDir), dirBytes(t, fleetDir); !reflect.DeepEqual(ref, got) {
+		t.Fatal("fleet store differs from single-process store")
+	}
+}
+
+// TestFleetFlakyTransportDeduplicates: a transport that drops replies
+// after delivery forces the worker's retry path to re-send completions
+// the coordinator has already recorded. The duplicates must be counted
+// and dropped, and the output must not change.
+func TestFleetFlakyTransportDeduplicates(t *testing.T) {
+	cfg := testutil.TinyConfig()
+	k := testutil.ThrashKernel("fleetflaky", 20, 12, 4)
+	opts := profile.SweepOptions{StepN: 4, StepP: 4}
+	kernels := map[string]*trace.Kernel{k.Name: k}
+	plan := profile.BuildPlan("flakytag", cfg, k, opts)
+
+	ms, err := profile.RunTasks(cfg, kernels, plan.Tasks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := profile.MergeShards(k.Name, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDir := t.TempDir()
+	if err := (profile.Store{Dir: refDir}).Save("flakytag", pr); err != nil {
+		t.Fatal(err)
+	}
+
+	flaky := &testutil.FlakyTransport{DropReplyEvery: 5}
+	w := &Worker{Name: "flaky", Executors: profileExecutors(kernels, opts),
+		Client: &http.Client{Transport: flaky}}
+	steady := &Worker{Name: "steady", Executors: profileExecutors(kernels, opts)}
+	fopts := Options{LeaseTasks: 4, LeaseTTL: 500 * time.Millisecond, StealMin: 2, Logf: t.Logf}
+	res, coord := fleetRun(t, ProfileCampaign{Plan: plan}, fopts, []*Worker{w, steady}, nil)
+
+	if flaky.Dropped.Load() == 0 {
+		t.Fatal("the flaky transport never dropped a reply; the duplicate path was not exercised")
+	}
+	st := coord.Stats()
+	if st.Duplicates < 1 {
+		t.Fatalf("stats %+v: dropped completion replies must resurface as duplicates", st)
+	}
+	fleetDir := t.TempDir()
+	if _, err := SaveProfiles(profile.Store{Dir: fleetDir}, res); err != nil {
+		t.Fatal(err)
+	}
+	if ref, got := dirBytes(t, refDir), dirBytes(t, fleetDir); !reflect.DeepEqual(ref, got) {
+		t.Fatal("fleet store differs from single-process store despite deduplication")
+	}
+}
+
+// TestRefineCampaignMatchesPrunedSweep: the multi-generation campaign
+// must reproduce profile.PrunedSweep byte-for-byte — every round's
+// plan is the same pure function of the merged prior — and resuming
+// from a store holding all rounds must run zero new tasks.
+func TestRefineCampaignMatchesPrunedSweep(t *testing.T) {
+	cfg := testutil.TinyConfig()
+	k := testutil.ThrashKernel("fleetrefine", 20, 15, 4)
+	opts := profile.SweepOptions{StepN: 2, StepP: 2}
+	tag := "refinetag"
+	kernels := map[string]*trace.Kernel{k.Name: k}
+
+	want, _, err := profile.PrunedSweep(cfg, k, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDir := t.TempDir()
+	if err := (profile.Store{Dir: refDir}).Save(tag, want); err != nil {
+		t.Fatal(err)
+	}
+
+	roundsDir := t.TempDir()
+	camp, err := NewRefineCampaign(cfg, []*trace.Kernel{k}, map[string]string{k.Name: tag},
+		opts, profile.Store{Dir: roundsDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := &Worker{Name: "w1", Executors: profileExecutors(kernels, opts)}
+	w2 := &Worker{Name: "w2", Executors: profileExecutors(kernels, opts)}
+	fopts := Options{LeaseTasks: 4, LeaseTTL: time.Minute, Logf: t.Logf}
+	_, coord := fleetRun(t, camp, fopts, []*Worker{w1, w2}, nil)
+	if g := coord.Stats().Generations; g < 2 {
+		t.Fatalf("refinement ran %d generations, want at least a coarse and a refine round", g)
+	}
+
+	fleetDir := t.TempDir()
+	if _, err := camp.SaveTo(profile.Store{Dir: fleetDir}); err != nil {
+		t.Fatal(err)
+	}
+	if ref, got := dirBytes(t, refDir), dirBytes(t, fleetDir); !reflect.DeepEqual(ref, got) {
+		t.Fatal("fleet refinement store differs from PrunedSweep store")
+	}
+
+	// Resume: every round is cached, so a fresh campaign over the same
+	// store must converge without granting a single lease.
+	resumed, err := NewRefineCampaign(cfg, []*trace.Kernel{k}, map[string]string{k.Name: tag},
+		opts, profile.Store{Dir: roundsDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord2, err := NewCoordinator(resumed, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := coord2.Stats(); st.Tasks != 0 || st.Granted != 0 {
+		t.Fatalf("resumed campaign ran %+v, want zero work", st)
+	}
+	resumeDir := t.TempDir()
+	if _, err := resumed.SaveTo(profile.Store{Dir: resumeDir}); err != nil {
+		t.Fatal(err)
+	}
+	if ref, got := dirBytes(t, refDir), dirBytes(t, resumeDir); !reflect.DeepEqual(ref, got) {
+		t.Fatal("resumed refinement store differs from PrunedSweep store")
+	}
+}
+
+// TestWorkerRejectsDriftedCatalogue: an executor prepared against
+// traces that do not match the plan's digests must refuse the whole
+// plan up front.
+func TestWorkerRejectsDriftedCatalogue(t *testing.T) {
+	cfg := testutil.TinyConfig()
+	k := testutil.ThrashKernel("drift", 20, 12, 4)
+	opts := profile.SweepOptions{StepN: 8, StepP: 8}
+	plan := profile.BuildPlan("t", cfg, k, opts)
+	data, _, err := planUnits(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted := testutil.ThrashKernel("drift", 20, 13, 4)
+	ex := ProfileExecutor{Cfg: cfg, Kernels: map[string]*trace.Kernel{k.Name: drifted}, Opts: opts}
+	if _, err := ex.Prepare(data); err == nil {
+		t.Fatal("Prepare must reject a kernel whose digest differs from the plan's")
+	}
+	if _, err := (ProfileExecutor{Cfg: cfg, Kernels: nil, Opts: opts}).Prepare(data); err == nil {
+		t.Fatal("Prepare must reject a plan whose kernel is absent")
+	}
+}
+
+// failExecutor accepts any plan and fails every task — the shape of a
+// deterministic executor-side failure.
+type failExecutor struct{}
+
+func (failExecutor) Prepare([]byte) (Batch, error) { return failBatch{}, nil }
+
+type failBatch struct{}
+
+func (failBatch) Run(lines []json.RawMessage) ([]json.RawMessage, error) {
+	return nil, errors.New("synthetic task failure")
+}
+
+// TestFleetTaskErrorFailsCampaignFast: a worker that cannot execute a
+// task reports it, and the coordinator fails the whole campaign
+// rather than retrying a deterministic failure elsewhere.
+func TestFleetTaskErrorFailsCampaignFast(t *testing.T) {
+	cfg := testutil.TinyConfig()
+	k := testutil.ThrashKernel("failfast", 20, 12, 4)
+	opts := profile.SweepOptions{StepN: 8, StepP: 8}
+	plan := profile.BuildPlan("t", cfg, k, opts)
+
+	coord, err := NewCoordinator(ProfileCampaign{Plan: plan}, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	w := &Worker{
+		Base: srv.URL, Name: "bad", Poll: 5 * time.Millisecond,
+		Executors: map[string]Executor{
+			gridplan.ProfilePlanFormat: failExecutor{},
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := w.Run(ctx); err == nil {
+		t.Fatal("worker must surface the task error")
+	}
+	if _, err := coord.Wait(ctx); err == nil {
+		t.Fatal("coordinator must fail the campaign on a task error")
+	}
+}

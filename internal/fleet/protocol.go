@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The wire protocol is HTTP carrying the same JSONL idiom the plan
+// files use: one JSON header line, then one record per line, with
+// counts in the header detecting truncated transfers.
+//
+//	GET  /v1/plan      -> plan envelope line, then the raw plan JSONL
+//	POST /v1/lease     <- lease request; -> lease envelope line, then
+//	                      one task line per granted task
+//	POST /v1/complete  <- completion header line, then one result line
+//	                      per finished task; -> completion reply
+//
+// Workers push each result as soon as its task finishes (streamed
+// partials), so the coordinator's progress view is per task: steals
+// take only genuinely unstarted work, and a worker killed mid-lease
+// loses at most the task it was running.
+
+// Lease and completion statuses.
+const (
+	statusOK   = "ok"   // lease granted / completion accepted
+	statusWait = "wait" // nothing grantable now; poll again
+	statusGen  = "gen"  // worker's generation is stale; refetch the plan
+	statusDone = "done" // campaign complete; worker may exit
+	statusErr  = "error"
+)
+
+// planEnvelope is the first line of a /v1/plan response; the raw plan
+// JSONL (a profile or cell plan, per Format) follows when Done is
+// false.
+type planEnvelope struct {
+	Fleet  string `json:"fleet"` // "plan"
+	Gen    int    `json:"gen"`
+	Format string `json:"format"`
+	Done   bool   `json:"done"`
+	Error  string `json:"error,omitempty"`
+}
+
+// leaseRequest is a /v1/lease POST body.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+	Gen    int    `json:"gen"`
+}
+
+// leaseReply is the first line of a /v1/lease response; Count task
+// lines follow on statusOK, aligned with Keys.
+type leaseReply struct {
+	Fleet      string   `json:"fleet"` // "lease"
+	Status     string   `json:"status"`
+	Gen        int      `json:"gen"`
+	Lease      string   `json:"lease,omitempty"`
+	DeadlineMS int64    `json:"deadlineMS,omitempty"`
+	Count      int      `json:"count"`
+	Keys       []string `json:"keys,omitempty"`
+	Error      string   `json:"error,omitempty"`
+}
+
+// completeHeader is the first line of a /v1/complete POST body; Count
+// result lines follow.
+type completeHeader struct {
+	Worker string `json:"worker"`
+	Gen    int    `json:"gen"`
+	Lease  string `json:"lease"`
+	Count  int    `json:"count"`
+}
+
+// resultLine is one streamed task result. Error marks a task the
+// worker could not execute; task failures are deterministic, so one
+// fails the campaign.
+type resultLine struct {
+	Key   string          `json:"key"`
+	Data  json.RawMessage `json:"data,omitempty"`
+	Error string          `json:"error,omitempty"`
+}
+
+// completeReply acknowledges a completion batch. Owned lists the keys
+// the lease still holds (grant order); a key the worker meant to run
+// next that is absent was stolen and must be skipped. Owned empty —
+// including when the lease itself was expired — means the worker
+// should request a fresh lease.
+type completeReply struct {
+	Fleet      string   `json:"fleet"` // "complete"
+	Status     string   `json:"status"`
+	Owned      []string `json:"owned,omitempty"`
+	Duplicates int      `json:"duplicates,omitempty"`
+	Error      string   `json:"error,omitempty"`
+}
+
+// writeJSONL writes the header followed by the given lines.
+func writeJSONL(w io.Writer, header any, lines []json.RawMessage) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(header); err != nil {
+		return err
+	}
+	for _, l := range lines {
+		if _, err := bw.Write(l); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// readJSONL decodes a header line and count lines (per the caller,
+// after it has read the header) from one stream.
+func readHeader(r *bufio.Reader, v any) error {
+	line, err := r.ReadBytes('\n')
+	if len(line) == 0 && err != nil {
+		return err
+	}
+	return json.Unmarshal(line, v)
+}
+
+// readLines reads exactly count JSON lines.
+func readLines(r *bufio.Reader, count int) ([]json.RawMessage, error) {
+	out := make([]json.RawMessage, 0, count)
+	for len(out) < count {
+		line, err := r.ReadBytes('\n')
+		if len(line) == 0 || (err != nil && err != io.EOF) {
+			return nil, fmt.Errorf("fleet: truncated body: %d of %d lines (%v)", len(out), count, err)
+		}
+		raw := json.RawMessage(nil)
+		if uerr := json.Unmarshal(line, &raw); uerr != nil {
+			return nil, fmt.Errorf("fleet: body line %d: %w", len(out)+1, uerr)
+		}
+		out = append(out, raw)
+	}
+	return out, nil
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package fleet
+
+// raceEnabled lets the simulation-heavy byte-identity tests skip when
+// the race detector (which slows the cycle engine ~10x) is on; the
+// fleet's concurrency structure is still fully exercised under -race
+// by the chaos tests over the cheap profile plans.
+const raceEnabled = false

@@ -1,0 +1,153 @@
+package gridplan
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// fuzzPlan is a small valid plan for seeding the corpus.
+func fuzzPlan() *Plan {
+	return &Plan{Version: PlanVersion, Tasks: []Task{
+		{Tag: "t", Kernel: "k", Digest: "d", N: 2, P: 1},
+		{Tag: "t", Kernel: "k", Digest: "d", N: 2, P: 2},
+		{Tag: "t", Kernel: "k2", Digest: "e", N: 4, P: 2, Seed: 7},
+	}}
+}
+
+// FuzzReadPlan: whatever bytes arrive, ReadPlan must either error or
+// return a plan that satisfies its own validator — and never panic.
+// The seeds cover the interesting failure classes: valid input,
+// truncation (header count vs body), duplicate keys, a corrupt
+// header, and raw garbage.
+func FuzzReadPlan(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WritePlan(&valid, fuzzPlan()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// Truncated: drop the last line so the header count disagrees.
+	lines := bytes.SplitAfter(valid.Bytes(), []byte("\n"))
+	f.Add(bytes.Join(lines[:len(lines)-2], nil))
+	// Duplicate key: repeat the last task line and patch the count.
+	dup := append([]byte(nil), valid.Bytes()...)
+	dup = bytes.Replace(dup, []byte(`"tasks":3`), []byte(`"tasks":4`), 1)
+	f.Add(append(dup, lines[len(lines)-2]...))
+	// Corrupt header and garbage.
+	f.Add([]byte(`{"format":"poiseplan","version":99,"tasks":0}` + "\n"))
+	f.Add([]byte(`{"format":"something-else","version":1,"tasks":0}` + "\n"))
+	f.Add([]byte("not json at all\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadPlan(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ReadPlan returned an invalid plan: %v", verr)
+		}
+		// Round-trip: what Read accepts, Write+Read must reproduce.
+		var buf bytes.Buffer
+		if werr := WritePlan(&buf, p); werr != nil {
+			t.Fatalf("re-encoding an accepted plan: %v", werr)
+		}
+		again, rerr := ReadPlan(&buf)
+		if rerr != nil {
+			t.Fatalf("re-reading a re-encoded plan: %v", rerr)
+		}
+		if !reflect.DeepEqual(p, again) {
+			t.Fatal("plan round-trip is not stable")
+		}
+	})
+}
+
+// FuzzReadCellPlan mirrors FuzzReadPlan for the experiment-cell plan
+// container.
+func FuzzReadCellPlan(f *testing.F) {
+	plan := &CellPlan{Version: PlanVersion, Cells: []CellTask{
+		{Tag: "t", Grid: "scheme", Workload: "bfs", Digest: "d", Scheme: "GTO", Ord: 0},
+		{Tag: "t", Grid: "scheme", Workload: "bfs", Digest: "d", Scheme: "Poise", Ord: 1},
+	}}
+	var valid bytes.Buffer
+	if err := WriteCellPlan(&valid, plan); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	lines := bytes.SplitAfter(valid.Bytes(), []byte("\n"))
+	f.Add(bytes.Join(lines[:len(lines)-2], nil))
+	dup := append([]byte(nil), valid.Bytes()...)
+	dup = bytes.Replace(dup, []byte(`"tasks":2`), []byte(`"tasks":3`), 1)
+	f.Add(append(dup, lines[len(lines)-2]...))
+	// Ordinal conflict: same grid+scheme under two ordinals.
+	conflict := append([]byte(nil), valid.Bytes()...)
+	conflict = bytes.Replace(conflict, []byte(`"scheme":"Poise"`), []byte(`"scheme":"GTO"`), 1)
+	f.Add(conflict)
+	f.Add([]byte(`{"format":"poisecellplan","version":99,"tasks":0}` + "\n"))
+	f.Add([]byte("\x00\x01\x02"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadCellPlan(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ReadCellPlan returned an invalid plan: %v", verr)
+		}
+		var buf bytes.Buffer
+		if werr := WriteCellPlan(&buf, p); werr != nil {
+			t.Fatalf("re-encoding an accepted cell plan: %v", werr)
+		}
+		again, rerr := ReadCellPlan(&buf)
+		if rerr != nil {
+			t.Fatalf("re-reading a re-encoded cell plan: %v", rerr)
+		}
+		if !reflect.DeepEqual(p, again) {
+			t.Fatal("cell plan round-trip is not stable")
+		}
+	})
+}
+
+// FuzzReadMeasurements: the shard measurement decoder must never
+// panic, and anything it accepts must survive a write/read round-trip
+// and feed Merge without panicking (duplicate keys surface there as
+// errors, not corruption).
+func FuzzReadMeasurements(f *testing.F) {
+	ms := []Measurement{
+		{Tag: "t", Kernel: "k", N: 2, P: 1, IPC: 1.5, HitRate: 0.5, AML: 10, Cycles: 100, Instructions: 150},
+		{Tag: "t", Kernel: "k", N: 2, P: 2, IPC: 1.25, HitRate: 0.25, AML: 20, Cycles: 200, Instructions: 250},
+	}
+	var valid bytes.Buffer
+	if err := WriteMeasurements(&valid, 0, 1, ms); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	lines := bytes.SplitAfter(valid.Bytes(), []byte("\n"))
+	f.Add(bytes.Join(lines[:len(lines)-2], nil))
+	// Duplicate measurement: legal at read time, an error at merge time.
+	dup := append([]byte(nil), valid.Bytes()...)
+	dup = bytes.Replace(dup, []byte(`"count":2`), []byte(`"count":3`), 1)
+	f.Add(append(dup, lines[len(lines)-2]...))
+	f.Add([]byte(`{"format":"poiseshard","version":1,"count":1}` + "\n" + `{"tag":"t"`))
+	f.Add([]byte(`{}` + "\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadMeasurements(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if werr := WriteMeasurements(&buf, 0, 1, got); werr != nil {
+			t.Fatalf("re-encoding accepted measurements: %v", werr)
+		}
+		again, rerr := ReadMeasurements(&buf)
+		if rerr != nil {
+			t.Fatalf("re-reading re-encoded measurements: %v", rerr)
+		}
+		if !reflect.DeepEqual(got, again) && !(len(got) == 0 && len(again) == 0) {
+			t.Fatal("measurement round-trip is not stable")
+		}
+		// Merge must handle whatever Read accepts — erroring on
+		// duplicates, never panicking.
+		Merge(got) //nolint:errcheck
+	})
+}

@@ -1,0 +1,53 @@
+package results
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadShard: the cell-shard decoder must never panic; anything it
+// accepts must survive a write/read round-trip, and Merge must handle
+// it (duplicate keys surface as errors, never corruption).
+func FuzzReadShard(f *testing.F) {
+	cells := []CellResult{
+		{Tag: "t", Grid: "scheme", Workload: "bfs", Digest: "d", Scheme: "GTO", Ord: 0},
+		{Tag: "t", Grid: "scheme", Workload: "bfs", Digest: "d", Scheme: "Poise", Ord: 3, DispN: 0.5, HasDisp: true},
+	}
+	var valid bytes.Buffer
+	if err := WriteShard(&valid, 0, 1, cells); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// Truncated: drop the final cell line so the header count disagrees.
+	lines := bytes.SplitAfter(valid.Bytes(), []byte("\n"))
+	f.Add(bytes.Join(lines[:len(lines)-2], nil))
+	// Duplicate key: repeat the last cell and patch the count.
+	dup := append([]byte(nil), valid.Bytes()...)
+	dup = bytes.Replace(dup, []byte(`"count":2`), []byte(`"count":3`), 1)
+	f.Add(append(dup, lines[len(lines)-2]...))
+	// Corrupt header, wrong format, torn line, garbage.
+	f.Add([]byte(`{"format":"poisecellshard","version":99,"count":0}` + "\n"))
+	f.Add([]byte(`{"format":"poiseshard","version":1,"count":0}` + "\n"))
+	f.Add([]byte(`{"format":"poisecellshard","version":1,"count":1}` + "\n" + `{"tag":`))
+	f.Add([]byte("\xff\xfe"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadShard(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if werr := WriteShard(&buf, 0, 1, got); werr != nil {
+			t.Fatalf("re-encoding an accepted shard: %v", werr)
+		}
+		again, rerr := ReadShard(&buf)
+		if rerr != nil {
+			t.Fatalf("re-reading a re-encoded shard: %v", rerr)
+		}
+		if !reflect.DeepEqual(got, again) && !(len(got) == 0 && len(again) == 0) {
+			t.Fatal("cell shard round-trip is not stable")
+		}
+		Merge(got) //nolint:errcheck
+	})
+}
