@@ -2,12 +2,7 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
-	"sort"
-	"strings"
 
 	"poise/internal/config"
 	"poise/internal/experiments"
@@ -511,43 +506,18 @@ func verifiedShardGroups(planPath string, files []string) []shardGroup {
 // from every profile JSON in -profile-out. Pruned and exhaustive
 // campaigns of the same grid must print byte-identical tables (CI
 // diffs exactly that), because those tuples are all any experiment
-// consumes from a profile.
+// consumes from a profile. The derivation is profile.BestTable — the
+// same function the serve layer's /table endpoint answers with, so the
+// two surfaces cannot drift apart.
 func printBestTable(dir string) {
 	if dir == "" {
 		fatal(fmt.Errorf("-best needs -profile-out (the profile directory to read)"))
 	}
-	entries, err := os.ReadDir(dir)
+	table, err := profile.BestTable(dir, config.DefaultPoise())
 	if err != nil {
 		fatal(err)
 	}
-	params := config.DefaultPoise()
-	var rows []string
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
-		if err != nil {
-			fatal(err)
-		}
-		var pr profile.Profile
-		if err := json.Unmarshal(data, &pr); err != nil {
-			fatal(fmt.Errorf("%s: %w", e.Name(), err))
-		}
-		best := pr.Best()
-		diag := pr.BestDiagonal()
-		score, _ := pr.BestScore(params)
-		rows = append(rows, fmt.Sprintf("%-14s best (%2d,%2d) %.4fx  swl (%2d,%2d) %.4fx  score (%2d,%2d) %.4fx",
-			pr.Kernel, best.N, best.P, best.Speedup, diag.N, diag.P, diag.Speedup,
-			score.N, score.P, score.Speedup))
-	}
-	if len(rows) == 0 {
-		fatal(fmt.Errorf("no profiles in %s", dir))
-	}
-	sort.Strings(rows)
-	for _, r := range rows {
-		fmt.Println(r)
-	}
+	fmt.Print(table)
 }
 
 // catalogueKernels indexes every kernel of every catalogue workload by

@@ -1,0 +1,49 @@
+package poise
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseWeights: whatever bytes arrive, ParseWeights must either
+// error or return a weight set that passes its own validator — and
+// never panic. Anything it accepts must survive a marshal/parse round
+// trip unchanged (the weights file is a long-lived artefact; a loader
+// that silently rewrites it would corrupt the deployment story). The
+// checked-in seeds cover the interesting classes: a valid document,
+// shape drift in both directions, all-zero weights, truncation, and
+// raw garbage.
+func FuzzParseWeights(f *testing.F) {
+	valid, err := json.Marshal(validWeights())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{"alpha":[1,2,3],"beta":[1,2,3]}`))
+	f.Add([]byte(`{"alpha":[1,1,1,1,1,1,1,1,1],"beta":[1,1,1,1,1,1,1,1,1]}`))
+	f.Add([]byte(`{"alpha":[0,0,0,0,0,0,0,0],"beta":[0,0,0,0,0,0,0,0]}`))
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{"alpha":[1e999,0,0,0,0,0,0,0],"beta":[1,0,0,0,0,0,0,0]}`))
+	f.Add([]byte("not json at all"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := ParseWeights(data)
+		if err != nil {
+			return
+		}
+		if verr := w.Validate(); verr != nil {
+			t.Fatalf("ParseWeights returned invalid weights: %v", verr)
+		}
+		out, merr := json.Marshal(w)
+		if merr != nil {
+			t.Fatalf("re-encoding accepted weights: %v", merr)
+		}
+		again, perr := ParseWeights(out)
+		if perr != nil {
+			t.Fatalf("re-parsing re-encoded weights: %v", perr)
+		}
+		if again != w {
+			t.Fatalf("weights round trip is not stable: %+v != %+v", again, w)
+		}
+	})
+}

@@ -107,15 +107,58 @@ func (w Weights) Save(path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// LoadWeights reads weights saved by Save.
+// LoadWeights reads and validates weights saved by Save. Every load
+// site gets the same fail-fast guarantee: a file that decodes but
+// could not have come from training (wrong vector shape, NaN/Inf
+// coefficients, all zeros) is an error here, not a latent mispredict
+// at inference time.
 func LoadWeights(path string) (Weights, error) {
-	var w Weights
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return w, err
+		return Weights{}, err
 	}
-	if err := json.Unmarshal(data, &w); err != nil {
-		return w, fmt.Errorf("poise: corrupt weights %s: %w", path, err)
+	w, err := ParseWeights(data)
+	if err != nil {
+		return Weights{}, fmt.Errorf("%w (loading %s)", err, path)
+	}
+	return w, nil
+}
+
+// ParseWeights decodes a weights JSON document and validates it. The
+// coefficient vectors are decoded as slices first so a document with
+// the wrong number of features is a shape error instead of a silent
+// truncation (encoding/json drops surplus array elements when
+// decoding straight into a fixed-size array).
+func ParseWeights(data []byte) (Weights, error) {
+	var wire struct {
+		Alpha        []float64 `json:"alpha"`
+		Beta         []float64 `json:"beta"`
+		DispersionN  float64   `json:"dispersion_n"`
+		DispersionP  float64   `json:"dispersion_p"`
+		TrainKernels int       `json:"train_kernels"`
+		PseudoR2N    float64   `json:"pseudo_r2_n"`
+		PseudoR2P    float64   `json:"pseudo_r2_p"`
+		Dropped      int       `json:"dropped"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return Weights{}, fmt.Errorf("poise: corrupt weights: %w", err)
+	}
+	if len(wire.Alpha) != NumFeatures || len(wire.Beta) != NumFeatures {
+		return Weights{}, fmt.Errorf("poise: weights shape alpha[%d]/beta[%d], want %d features each",
+			len(wire.Alpha), len(wire.Beta), NumFeatures)
+	}
+	w := Weights{
+		DispersionN:  wire.DispersionN,
+		DispersionP:  wire.DispersionP,
+		TrainKernels: wire.TrainKernels,
+		PseudoR2N:    wire.PseudoR2N,
+		PseudoR2P:    wire.PseudoR2P,
+		Dropped:      wire.Dropped,
+	}
+	copy(w.Alpha[:], wire.Alpha)
+	copy(w.Beta[:], wire.Beta)
+	if err := w.Validate(); err != nil {
+		return Weights{}, err
 	}
 	return w, nil
 }
@@ -134,6 +177,11 @@ func (w Weights) Validate() error {
 	}
 	if all0 {
 		return errors.New("poise: weights are all zero (untrained)")
+	}
+	for _, v := range [...]float64{w.DispersionN, w.DispersionP, w.PseudoR2N, w.PseudoR2P} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return errors.New("poise: weights metadata contains NaN/Inf")
+		}
 	}
 	return nil
 }

@@ -1,0 +1,93 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"poise/internal/config"
+)
+
+// The static policy table — the Static-Best, SWL-diagonal and Eq. 12
+// scored tuples with their profiled speedups per kernel — is the
+// paper's actual deliverable: those three tuples are all any
+// experiment (or the decision service) consumes from a profile. The
+// derivation lives here so `poisesim -best` and the serve layer's
+// /table endpoint are byte-identical by construction, which CI
+// enforces with a literal diff.
+
+// BestRow is one kernel's line of the static policy table.
+type BestRow struct {
+	Kernel string
+	Best   Point // Static-Best: global speedup optimum
+	Diag   Point // SWL: best p == N point
+	Score  Point // Eq. 12 scored optimum (Poise's training target)
+}
+
+// String formats the row exactly as `poisesim -best` prints it.
+func (r BestRow) String() string {
+	return fmt.Sprintf("%-14s best (%2d,%2d) %.4fx  swl (%2d,%2d) %.4fx  score (%2d,%2d) %.4fx",
+		r.Kernel, r.Best.N, r.Best.P, r.Best.Speedup, r.Diag.N, r.Diag.P, r.Diag.Speedup,
+		r.Score.N, r.Score.P, r.Score.Speedup)
+}
+
+// BestTableRows derives the policy table rows from every profile JSON
+// in dir, sorted by their printed form (kernel name first, so the
+// order is stable across tags). Pruned and exhaustive campaigns of
+// the same grid derive identical rows — the optima are exactly what
+// pruning preserves.
+func BestTableRows(dir string, params config.PoiseParams) ([]BestRow, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("profile: no profile directory to derive the policy table from")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var rows []BestRow
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var pr Profile
+		if err := json.Unmarshal(data, &pr); err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		pr.buildIndex()
+		score, _ := pr.BestScore(params)
+		rows = append(rows, BestRow{
+			Kernel: pr.Kernel,
+			Best:   pr.Best(),
+			Diag:   pr.BestDiagonal(),
+			Score:  score,
+		})
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("no profiles in %s", dir)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].String() < rows[j].String() })
+	return rows, nil
+}
+
+// BestTable renders the static policy table as text: one row per
+// profiled kernel, newline-terminated — byte for byte what `poisesim
+// -best` prints for the same directory.
+func BestTable(dir string, params config.PoiseParams) (string, error) {
+	rows, err := BestTableRows(dir, params)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, r := range rows {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histogram is a lock-free log2-bucketed latency histogram: Observe is
+// two atomic adds, cheap enough to sit on the decision path, and
+// quantiles come back as the upper bound of the bucket they land in —
+// factor-of-two resolution, which is all a p99 counter needs.
+type histogram struct {
+	count   atomic.Int64
+	buckets [64]atomic.Int64 // bucket b holds values with bits.Len64(v) == b
+}
+
+// Observe records one latency in nanoseconds.
+func (h *histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+	h.count.Add(1)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) of
+// the observed values, or 0 when nothing has been observed.
+func (h *histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b := range h.buckets {
+		cum += h.buckets[b].Load()
+		if cum >= target {
+			if b == 0 {
+				return 0
+			}
+			return int64(1)<<b - 1
+		}
+	}
+	return math.MaxInt64
+}

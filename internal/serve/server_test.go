@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"poise/internal/config"
+	"poise/internal/profile"
+	"poise/internal/traceio"
+	"poise/internal/workloads"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, &Client{Base: ts.URL, HTTP: ts.Client(), Retries: 3}
+}
+
+func TestServeDecideEndpoint(t *testing.T) {
+	w := testWeights()
+	s, c := newTestServer(t, Config{Weights: w})
+	reqs := []DecideRequest{
+		{Key: "k1", X: testVector(1), MaxN: 24},
+		{Key: "k1", X: testVector(1), MaxN: 24},
+		{Key: "", X: testVector(2)}, // MaxN 0: server default (24)
+	}
+	replies, err := c.Decide(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 3 {
+		t.Fatalf("got %d replies, want 3", len(replies))
+	}
+	for i, req := range reqs {
+		maxN := req.MaxN
+		if maxN == 0 {
+			maxN = 24
+		}
+		wantN, wantP := w.PredictTuple(req.X, maxN)
+		if replies[i].N != wantN || replies[i].P != wantP {
+			t.Fatalf("reply %d = (%d,%d), want (%d,%d)", i, replies[i].N, replies[i].P, wantN, wantP)
+		}
+		if replies[i].Version != 1 {
+			t.Fatalf("reply %d version = %d, want 1", i, replies[i].Version)
+		}
+	}
+	if replies[0].Cached || !replies[1].Cached || replies[2].Cached {
+		t.Fatalf("cached flags = %v/%v/%v, want false/true/false",
+			replies[0].Cached, replies[1].Cached, replies[2].Cached)
+	}
+	st := s.Stats()
+	if st.Decisions != 3 || st.CacheHits != 1 || st.CacheMisses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.P99LatencyNS <= 0 {
+		t.Fatal("latency histogram never observed anything")
+	}
+}
+
+func TestServeDecideRejectsBadBatch(t *testing.T) {
+	_, c := newTestServer(t, Config{Weights: testWeights()})
+	for name, body := range map[string]string{
+		"empty":    "",
+		"bad-json": "{\"x\": not json}\n",
+	} {
+		resp, err := c.client().Post(c.Base+"/decide", "application/jsonl", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// tableProfile mirrors the profile package's table fixture: distinct
+// Static-Best, SWL and scored optima.
+func tableProfile(kernel string) *profile.Profile {
+	pr := &profile.Profile{
+		Kernel:   kernel,
+		MaxN:     4,
+		Baseline: profile.Point{N: 4, P: 4, IPC: 1, Speedup: 1},
+	}
+	for n := 1; n <= 4; n++ {
+		for p := 1; p <= n; p++ {
+			sp := 1.0
+			switch {
+			case n == 4 && p == 1:
+				sp = 1.5
+			case n == 2 && p == 2:
+				sp = 1.2
+			case n == 3 && p == 1:
+				sp = 1.4
+			}
+			pr.Points = append(pr.Points, profile.Point{N: n, P: p, IPC: sp, Speedup: sp})
+		}
+	}
+	return pr
+}
+
+// TestServeTableMatchesBestTable pins the byte-identity contract: GET
+// /table is exactly profile.BestTable, which is exactly what `poisesim
+// -best` prints (CI diffs the two end to end).
+func TestServeTableMatchesBestTable(t *testing.T) {
+	dir := t.TempDir()
+	st := profile.Store{Dir: dir}
+	if err := st.Save("tag", tableProfile("bk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save("tag", tableProfile("ak")); err != nil {
+		t.Fatal(err)
+	}
+	_, c := newTestServer(t, Config{Weights: testWeights(), ProfileDir: dir})
+	got, err := c.Table(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := profile.BestTable(dir, config.DefaultPoise())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("/table drifted from profile.BestTable:\n%q\n%q", got, want)
+	}
+}
+
+func TestServeTableUnconfigured(t *testing.T) {
+	_, c := newTestServer(t, Config{Weights: testWeights()})
+	if _, err := c.Table(context.Background()); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unconfigured /table: %v, want 404", err)
+	}
+}
+
+func TestServeIngestRecord(t *testing.T) {
+	s, c := newTestServer(t, Config{Weights: testWeights(), Retrain: RetrainOptions{Min: 8}})
+	rep, err := c.IngestRecord(context.Background(), synthRecord(1, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workload != "synth" || rep.Samples != 9 || rep.Records != 1 || rep.TotalSamples != 9 {
+		t.Fatalf("ingest reply = %+v", rep)
+	}
+	s.Flush()
+	st := s.Stats()
+	if st.Retrains != 1 || st.RetrainErrors != 0 || st.WeightsVersion != 2 {
+		t.Fatalf("post-ingest stats = %+v", st)
+	}
+	// Garbage that is neither trace nor record is a clean 400.
+	resp, err := c.client().Post(c.Base+"/ingest", "application/octet-stream", strings.NewReader("garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage ingest: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServeIngestRawTrace drives the full online pipeline: record a
+// real workload to the poisetrace container, upload the raw bytes, and
+// watch the service characterise, profile and log it — the online
+// analogue of one offline training iteration.
+func TestServeIngestRawTrace(t *testing.T) {
+	wl := workloads.NewCatalogue(workloads.Small).Must("ii")
+	tr, err := traceio.Record(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw bytes.Buffer
+	if err := traceio.Write(&raw, tr, traceio.WriteOptions{Gzip: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	s, c := newTestServer(t, Config{
+		Weights:    testWeights(),
+		SimCfg:     config.Default().Scale(1),
+		Sweep:      profile.SweepOptions{StepN: 12, StepP: 12},
+		SweepCache: t.TempDir(),
+	})
+	rep, err := c.IngestTrace(context.Background(), raw.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workload != "ii" {
+		t.Fatalf("ingested workload = %q, want ii", rep.Workload)
+	}
+	if rep.Records != 1 {
+		t.Fatalf("records = %d, want 1", rep.Records)
+	}
+	s.Flush()
+	st := s.Stats()
+	if st.IngestedRecords != 1 {
+		t.Fatalf("stats after trace ingest = %+v", st)
+	}
+	if st.RetrainErrors != 0 {
+		t.Fatalf("retrain errors after trace ingest: %+v", st)
+	}
+}
+
+// TestServeIngestWhileDeciding is the hot-swap chaos test: concurrent
+// /decide batches race concurrent /ingest-triggered retrains. Under
+// `go test -race` this pins the acceptance criterion that the swap is
+// race-clean; the counters then confirm nothing was dropped.
+func TestServeIngestWhileDeciding(t *testing.T) {
+	s, c := newTestServer(t, Config{Weights: testWeights(), Retrain: RetrainOptions{Min: 8}})
+	const (
+		deciders     = 4
+		decideRounds = 25
+		batch        = 3
+		ingesters    = 2
+		ingestRounds = 5
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, deciders+ingesters)
+	for g := 0; g < deciders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < decideRounds; i++ {
+				reqs := make([]DecideRequest, batch)
+				for j := range reqs {
+					reqs[j] = DecideRequest{Key: fmt.Sprintf("k%d", (g+i+j)%5), X: testVector(j), MaxN: 24}
+				}
+				if _, err := c.Decide(context.Background(), reqs); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < ingesters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ingestRounds; i++ {
+				if _, err := c.IngestRecord(context.Background(), synthRecord(g*100+i, 8)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	s.Flush()
+	st := s.Stats()
+	if want := int64(deciders * decideRounds * batch); st.Decisions != want {
+		t.Fatalf("decisions = %d, want %d", st.Decisions, want)
+	}
+	if want := int64(ingesters * ingestRounds); st.IngestedRecords != want {
+		t.Fatalf("ingested = %d, want %d", st.IngestedRecords, want)
+	}
+	if st.Retrains < 1 || st.RetrainErrors != 0 {
+		t.Fatalf("retrains = %d, errors = %d", st.Retrains, st.RetrainErrors)
+	}
+	if st.WeightsVersion < 2 {
+		t.Fatalf("weights never advanced: %+v", st)
+	}
+}
+
+// TestServeIngestCIFixture keeps the checked-in CI record honest: the
+// workflow's round-trip step curls testdata/ci-ingest.json at a live
+// service and expects a retrain, so the fixture must keep training
+// cleanly.
+func TestServeIngestCIFixture(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "ci-ingest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, c := newTestServer(t, Config{Weights: testWeights(), Retrain: RetrainOptions{Min: 16}})
+	rep, err := c.IngestRecord(context.Background(), mustRecord(t, data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workload != "ci-synth" || rep.Samples != 16 {
+		t.Fatalf("fixture ingest reply = %+v", rep)
+	}
+	s.Flush()
+	if st := s.Stats(); st.Retrains != 1 || st.RetrainErrors != 0 {
+		t.Fatalf("fixture must train cleanly: %+v", st)
+	}
+}
+
+func mustRecord(t *testing.T, data []byte) Record {
+	t.Helper()
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	s, err := New(Config{Weights: testWeights(), Retrain: RetrainOptions{Min: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, "127.0.0.1:0", addrCh) }()
+	addr := <-addrCh
+
+	c := &Client{Base: "http://" + addr}
+	// Pending samples at shutdown time must still be folded (and are:
+	// Close drains the retrainer before Serve returns).
+	if _, err := c.IngestRecord(context.Background(), synthRecord(1, 9)); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v", err)
+	}
+	if st := s.Stats(); st.Retrains != 1 || st.WeightsVersion != 2 {
+		t.Fatalf("shutdown did not drain the retrainer: %+v", st)
+	}
+}
