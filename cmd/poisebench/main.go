@@ -65,6 +65,7 @@ import (
 
 	"poise/internal/experiments"
 	"poise/internal/gridplan"
+	"poise/internal/profiling"
 	"poise/internal/sim"
 	"poise/internal/traceio"
 	"poise/internal/workloads"
@@ -121,8 +122,22 @@ func main() {
 		workerURL = flag.String("worker", "", "run a fleet worker pulling task leases from the coordinator at this base URL")
 		leaseN    = flag.Int("lease-tasks", 0, "-serve: tasks per lease batch (0 = default)")
 		leaseTTL  = flag.Duration("lease-ttl", 0, "-serve: lease expiry deadline, renewed on each completed task (0 = default)")
+
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(profiling.Flags{CPUProfile: *cpuProf, MemProfile: *memProf})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "poisebench:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "poisebench:", err)
+		}
+	}()
 
 	if *listExp {
 		for _, r := range runners {

@@ -20,6 +20,7 @@ type serveFlags struct {
 	stepP      int
 	cache      string
 	maxBody    int64
+	pprofAddr  string
 }
 
 // validateServeFlags rejects configurations that could not serve: it
@@ -43,6 +44,9 @@ func validateServeFlags(f serveFlags) error {
 	}
 	if f.weightsOut != "" && f.weightsOut == f.weights {
 		return errors.New("poiseserve: -weights-out must differ from -weights (retrains would clobber the boot model)")
+	}
+	if f.pprofAddr != "" && f.pprofAddr == f.listen {
+		return errors.New("poiseserve: -pprof must differ from -listen (the debug endpoints must never share the service port)")
 	}
 	return nil
 }

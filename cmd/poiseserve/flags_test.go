@@ -39,6 +39,9 @@ func TestValidateServeFlags(t *testing.T) {
 			f.weights = "w.json"
 			f.weightsOut = "w.json"
 		}, "-weights-out"},
+		{"pprof-off", func(f *serveFlags) { f.pprofAddr = "" }, ""},
+		{"pprof-separate", func(f *serveFlags) { f.pprofAddr = "127.0.0.1:9667" }, ""},
+		{"pprof-on-service-port", func(f *serveFlags) { f.pprofAddr = f.listen }, "-pprof"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -47,10 +47,19 @@ func main() {
 	flag.IntVar(&f.stepP, "stepp", 3, "ingest profile sweep stride in p")
 	flag.StringVar(&f.cache, "cache", "", "profile cache directory for ingest sweeps ('' disables)")
 	flag.Int64Var(&f.maxBody, "max-body", 0, "request body bound in bytes (0 = default)")
+	flag.StringVar(&f.pprofAddr, "pprof", "", "serve net/http/pprof debug endpoints on this separate address ('' = off; never exposed on -listen)")
 	flag.Parse()
 
 	if err := validateServeFlags(f); err != nil {
 		fatal(err)
+	}
+
+	if f.pprofAddr != "" {
+		_, stopPprof, err := startPprofServer(f.pprofAddr, logf)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopPprof()
 	}
 
 	w, src, err := loadServeWeights(f.weights)

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// startPprofServer exposes the runtime profiling endpoints on their own
+// listener, opt-in via -pprof. The handlers are mounted on a dedicated
+// mux (never the service's), so the decision API cannot leak debug
+// endpoints, and the address is typically a loopback port. It returns
+// the bound address and a stop function that closes the listener.
+func startPprofServer(addr string, logf func(string, ...any)) (string, func(), error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logf("poiseserve: pprof server: %v", err)
+		}
+	}()
+	logf("poiseserve: pprof debug endpoints on %s", ln.Addr())
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestPprofServerServesIndex boots the opt-in debug listener on an
+// ephemeral port and checks the pprof index answers — and that it is a
+// separate listener from the service, not a mux shared with /decide.
+func TestPprofServerServesIndex(t *testing.T) {
+	addr, stop, err := startPprofServer("127.0.0.1:0", func(string, ...any) {})
+	if err != nil {
+		t.Fatalf("startPprofServer: %v", err)
+	}
+	defer stop()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ status = %d, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if len(body) == 0 {
+		t.Fatal("pprof index returned an empty body")
+	}
+}
+
+func TestPprofServerRejectsBusyAddr(t *testing.T) {
+	addr, stop, err := startPprofServer("127.0.0.1:0", func(string, ...any) {})
+	if err != nil {
+		t.Fatalf("startPprofServer: %v", err)
+	}
+	defer stop()
+	if _, stop2, err := startPprofServer(addr, func(string, ...any) {}); err == nil {
+		stop2()
+		t.Fatal("second listener on the same address unexpectedly succeeded")
+	}
+}

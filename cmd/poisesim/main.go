@@ -106,6 +106,7 @@ import (
 	"poise"
 
 	"poise/internal/config"
+	"poise/internal/profiling"
 	"poise/internal/runner"
 	"poise/internal/sim"
 	"poise/internal/traceio"
@@ -153,8 +154,21 @@ func main() {
 		leaseTTL  = flag.Duration("lease-ttl", 0, "-serve: lease expiry deadline, renewed on each completed task (0 = default)")
 		dieAfter  = flag.Int("die-after", 0, "-worker: exit mid-lease after completing this many tasks (chaos/CI hook; 0 = never)")
 		taskDelay = flag.Duration("task-delay", 0, "-worker: sleep this long before each task (chaos/CI hook to provoke stealing)")
+
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(profiling.Flags{CPUProfile: *cpuProf, MemProfile: *memProf})
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "poisesim:", err)
+		}
+	}()
 
 	workloadSet := false
 	flag.Visit(func(f *flag.Flag) {

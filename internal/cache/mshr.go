@@ -12,6 +12,12 @@ type MSHRFile struct {
 	capacity int
 	entries  map[uint64]*MSHR
 
+	// free recycles released entries (and their Waiters storage) so a
+	// steady-state miss stream allocates nothing per fill; entries are
+	// returned here by Recycle once the fill that released them is
+	// fully processed.
+	free []*MSHR
+
 	// Cumulative counters.
 	Allocs    int64 // primary misses (memory requests issued)
 	Merges    int64 // secondary misses merged
@@ -45,6 +51,7 @@ func NewMSHRFile(capacity int) *MSHRFile {
 	return &MSHRFile{
 		capacity: capacity,
 		entries:  make(map[uint64]*MSHR, capacity),
+		free:     make([]*MSHR, 0, capacity),
 	}
 }
 
@@ -67,13 +74,25 @@ func (f *MSHRFile) Allocate(lineAddr uint64, cycle int64, pollute bool, warp int
 		f.FullFails++
 		return nil
 	}
-	m := &MSHR{
-		LineAddr:   lineAddr,
-		IssueCycle: cycle,
-		Pollute:    pollute,
-		Warp:       warp,
-		PC:         pc,
-		Waiters:    []Waiter{w},
+	var m *MSHR
+	if n := len(f.free); n > 0 {
+		m = f.free[n-1]
+		f.free = f.free[:n-1]
+		m.Waiters = append(m.Waiters[:0], w)
+		m.LineAddr = lineAddr
+		m.IssueCycle = cycle
+		m.Pollute = pollute
+		m.Warp = warp
+		m.PC = pc
+	} else {
+		m = &MSHR{
+			LineAddr:   lineAddr,
+			IssueCycle: cycle,
+			Pollute:    pollute,
+			Warp:       warp,
+			PC:         pc,
+			Waiters:    []Waiter{w},
+		}
 	}
 	f.entries[lineAddr] = m
 	f.Allocs++
@@ -95,12 +114,20 @@ func (f *MSHRFile) Merge(m *MSHR, pollute bool, w Waiter) {
 }
 
 // Release removes the entry for lineAddr (on fill) and returns it.
+// The caller owns the entry until it hands it back with Recycle.
 func (f *MSHRFile) Release(lineAddr uint64) *MSHR {
 	m := f.entries[lineAddr]
 	if m != nil {
 		delete(f.entries, lineAddr)
 	}
 	return m
+}
+
+// Recycle returns a released entry to the free pool for reuse by a
+// later Allocate. The entry (including its Waiters slice) must no
+// longer be referenced by the caller.
+func (f *MSHRFile) Recycle(m *MSHR) {
+	f.free = append(f.free, m)
 }
 
 // Reset drops all live entries (used between kernels).
@@ -115,5 +142,6 @@ func (f *MSHRFile) Reset() {
 // reflect.DeepEqual-identical to NewMSHRFile with the same capacity.
 func (f *MSHRFile) Clear() {
 	f.Reset()
+	f.free = f.free[:0]
 	f.Allocs, f.Merges, f.FullFails, f.PeakUsed = 0, 0, 0, 0
 }

@@ -1,0 +1,75 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags
+// into the CLIs. The simulator's performance work (the ready-queue
+// cycle engine, the pooled GPU) is benchmark-driven; these flags make
+// the same pprof workflow available on real campaign runs without
+// rebuilding the binaries as tests.
+package profiling
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the optional profile outputs of a CLI run. Zero values
+// mean "no profiling" and cost nothing.
+type Flags struct {
+	CPUProfile string // write a CPU profile to this file
+	MemProfile string // write a heap profile to this file on exit
+}
+
+// Validate checks the flag combination without touching the
+// filesystem, so the CLIs can reject bad invocations before doing any
+// work (and tests can cover the rules without running a profile).
+func (f Flags) Validate() error {
+	if f.CPUProfile != "" && f.CPUProfile == f.MemProfile {
+		return errors.New("-cpuprofile and -memprofile must name different files")
+	}
+	return nil
+}
+
+// Start begins CPU profiling when requested and returns a stop
+// function that finalises the CPU profile and writes the heap profile.
+// The stop function must run on every exit path that should produce
+// usable profiles (defer it right after Start).
+func Start(f Flags) (stop func() error, err error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	var cpuOut *os.File
+	if f.CPUProfile != "" {
+		cpuOut, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			cpuOut.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			if err := cpuOut.Close(); err != nil {
+				return fmt.Errorf("close cpu profile: %w", err)
+			}
+		}
+		if f.MemProfile != "" {
+			out, err := os.Create(f.MemProfile)
+			if err != nil {
+				return fmt.Errorf("create mem profile: %w", err)
+			}
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(out); err != nil {
+				out.Close()
+				return fmt.Errorf("write mem profile: %w", err)
+			}
+			if err := out.Close(); err != nil {
+				return fmt.Errorf("close mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

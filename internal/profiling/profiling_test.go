@@ -1,0 +1,81 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		flags   Flags
+		wantErr bool
+	}{
+		{"disabled", Flags{}, false},
+		{"cpu-only", Flags{CPUProfile: "cpu.prof"}, false},
+		{"mem-only", Flags{MemProfile: "mem.prof"}, false},
+		{"both-distinct", Flags{CPUProfile: "cpu.prof", MemProfile: "mem.prof"}, false},
+		{"same-file", Flags{CPUProfile: "p.prof", MemProfile: "p.prof"}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.flags.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate(%+v) = %v, wantErr %v", tc.flags, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestStartDisabledIsNoOp(t *testing.T) {
+	stop, err := Start(Flags{})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		CPUProfile: filepath.Join(dir, "cpu.prof"),
+		MemProfile: filepath.Join(dir, "mem.prof"),
+	}
+	stop, err := Start(f)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Some work so the profiles have something to record.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, p := range []string{f.CPUProfile, f.MemProfile} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartRejectsInvalidFlags(t *testing.T) {
+	if _, err := Start(Flags{CPUProfile: "x", MemProfile: "x"}); err == nil {
+		t.Fatal("Start accepted -cpuprofile == -memprofile")
+	}
+}
+
+func TestStartRejectsUnwritablePath(t *testing.T) {
+	if _, err := Start(Flags{CPUProfile: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.prof")}); err == nil {
+		t.Fatal("Start accepted an uncreatable cpu profile path")
+	}
+}

@@ -1,0 +1,95 @@
+package sim_test
+
+import (
+	"testing"
+
+	"poise/internal/config"
+	"poise/internal/sim"
+	"poise/internal/testutil"
+	"poise/internal/trace"
+)
+
+// TestSteadyStateZeroAllocPerCycle pins the "no allocation per simulated
+// cycle" property of a warmed (pooled) GPU. It compares per-run
+// allocations between two kernels that differ only in iteration count:
+// everything that legitimately allocates (launch bookkeeping, per-kernel
+// PC maps, the result struct) is identical between them, so any excess
+// on the long kernel is allocation that scales with simulated cycles —
+// exactly what the preallocated event heap, ready queue, MSHR free list
+// and replay-queue storage exist to eliminate.
+func TestSteadyStateZeroAllocPerCycle(t *testing.T) {
+	cfg := testutil.TinyConfig()
+	g, err := sim.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	kShort := testutil.StreamKernel("alloc-short", 40, 4)
+	kLong := testutil.StreamKernel("alloc-long", 160, 4)
+	run := func(k *trace.Kernel) {
+		g.Reset()
+		if _, err := g.Run(k, sim.GTO{}, sim.RunOptions{}); err != nil {
+			t.Fatalf("Run(%s): %v", k.Name, err)
+		}
+	}
+	// Warm every pooled capacity on the longer kernel first.
+	run(kLong)
+
+	aShort := testing.AllocsPerRun(10, func() { run(kShort) })
+	aLong := testing.AllocsPerRun(10, func() { run(kLong) })
+	if aLong > aShort {
+		t.Fatalf("allocations grow with simulated cycles: %.1f allocs/run at 40 iters vs %.1f at 160 iters",
+			aShort, aLong)
+	}
+}
+
+// benchEngines times one kernel on both cycle engines so the ready
+// engine's speedup (and the compute-bound non-regression) is read
+// straight off `go test -bench CycleLoop`. The GPU is built once per
+// sub-benchmark and pooled with Reset, isolating the cycle loop from
+// construction cost.
+func benchEngines(b *testing.B, cfg config.Config, k *trace.Kernel) {
+	for _, eng := range []struct {
+		name   string
+		engine sim.Engine
+	}{{"ready", sim.EngineReady}, {"dense", sim.EngineDense}} {
+		b.Run(eng.name, func(b *testing.B) {
+			g, err := sim.New(cfg)
+			if err != nil {
+				b.Fatalf("New: %v", err)
+			}
+			opts := sim.RunOptions{Engine: eng.engine}
+			warm, err := g.Run(k, sim.GTO{}, opts)
+			if err != nil {
+				b.Fatalf("Run: %v", err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.Reset()
+				if _, err := g.Run(k, sim.GTO{}, opts); err != nil {
+					b.Fatalf("Run: %v", err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(warm.Cycles),
+				"ns/simcycle")
+		})
+	}
+}
+
+// BenchmarkCycleLoopMemBound is the regime the ready queue targets: a
+// low-occupancy streaming kernel (one block per SM) at the paper-scale
+// 32-SM configuration keeps nearly every scheduler blocked on memory,
+// so the dense engine burns its time scanning blocked schedulers while
+// the ready engine settles them with span arithmetic.
+func BenchmarkCycleLoopMemBound(b *testing.B) {
+	benchEngines(b, config.Default(), testutil.StreamKernel("mem", 200, 32))
+}
+
+// BenchmarkCycleLoopCompute is the adversarial regime: every scheduler
+// issues nearly every cycle, so the ready engine's hot list is always
+// full and its queue bookkeeping is pure overhead that must stay in the
+// noise.
+func BenchmarkCycleLoopCompute(b *testing.B) {
+	benchEngines(b, config.Default(), testutil.ComputeKernel("comp", 60, 128))
+}

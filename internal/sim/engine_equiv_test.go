@@ -1,0 +1,218 @@
+package sim_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"poise/internal/config"
+	"poise/internal/poise"
+	"poise/internal/sched"
+	"poise/internal/sim"
+	"poise/internal/testutil"
+	"poise/internal/traceio"
+	"poise/internal/workloads"
+)
+
+// These tests pin the tentpole guarantee of the ready-queue engine:
+// for every workload and scheme, running with sim.EngineReady produces
+// results reflect.DeepEqual-identical to the dense reference scan —
+// including the per-scheduler Issue/Stall/Idle counters, which the
+// dense engine increments per visited cycle and the ready engine
+// settles arithmetically in spans.
+
+// schedTallies snapshots the per-scheduler cycle counters, which are
+// not part of KernelResult and therefore need their own comparison.
+func schedTallies(g *sim.GPU) [][3]int64 {
+	var out [][3]int64
+	for _, s := range g.SMs {
+		for _, sch := range s.Scheds {
+			out = append(out, [3]int64{sch.IssueCycles, sch.StallCycles, sch.IdleCycles})
+		}
+	}
+	return out
+}
+
+// runOn executes one workload on a fresh GPU with the given engine and
+// returns everything observable: the aggregated result, the final
+// per-scheduler counters, and the error (if any).
+func runOn(t *testing.T, cfg config.Config, w *sim.Workload, p sim.Policy,
+	opts sim.RunOptions, traceTuples bool, e sim.Engine) (sim.WorkloadResult, [][3]int64, error) {
+	t.Helper()
+	g, err := sim.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	g.TraceTuples = traceTuples
+	opts.Engine = e
+	res, runErr := g.RunWorkload(w, p, opts)
+	return res, schedTallies(g), runErr
+}
+
+// assertEnginesAgree runs w under both engines (a fresh policy instance
+// per engine — adaptive schemes carry state) and requires bit-identical
+// outcomes.
+func assertEnginesAgree(t *testing.T, cfg config.Config, w *sim.Workload,
+	mkPolicy func() sim.Policy, opts sim.RunOptions, traceTuples bool) {
+	t.Helper()
+	dRes, dTally, dErr := runOn(t, cfg, w, mkPolicy(), opts, traceTuples, sim.EngineDense)
+	rRes, rTally, rErr := runOn(t, cfg, w, mkPolicy(), opts, traceTuples, sim.EngineReady)
+	if (dErr == nil) != (rErr == nil) || (dErr != nil && dErr.Error() != rErr.Error()) {
+		t.Fatalf("engines disagree on error:\n dense: %v\n ready: %v", dErr, rErr)
+	}
+	if !reflect.DeepEqual(dRes, rRes) {
+		t.Fatalf("engine results diverge for %s:\n dense: %+v\n ready: %+v", w.Name, dRes, rRes)
+	}
+	if !reflect.DeepEqual(dTally, rTally) {
+		for i := range dTally {
+			if dTally[i] != rTally[i] {
+				t.Errorf("scheduler %d counters diverge (issue,stall,idle): dense %v ready %v",
+					i, dTally[i], rTally[i])
+			}
+		}
+		t.Fatalf("per-scheduler cycle counters diverge for %s", w.Name)
+	}
+}
+
+// mustPoise builds the HIE policy from the embedded default weights.
+func mustPoise(t *testing.T) sim.Policy {
+	t.Helper()
+	w, ok := poise.DefaultWeights()
+	if !ok {
+		t.Skip("no embedded default weights in this build")
+	}
+	return poise.NewPolicy(testutil.TinyParams(), w)
+}
+
+// engineSchemes is every scheme class in the repo, each built fresh
+// per engine run.
+func engineSchemes(t *testing.T) []struct {
+	name string
+	mk   func() sim.Policy
+} {
+	return []struct {
+		name string
+		mk   func() sim.Policy
+	}{
+		{"gto", func() sim.Policy { return sim.GTO{} }},
+		{"swl", func() sim.Policy { return sim.Fixed{PolicyName: "SWL", N: 6, P: 6} }},
+		{"static", func() sim.Policy { return sim.Fixed{N: 3, P: 1} }},
+		{"ccws", func() sim.Policy { return sched.NewCCWS(2000) }},
+		{"apcm", func() sim.Policy { return sched.NewAPCM(3000) }},
+		{"pcal", func() sim.Policy { return sched.NewPCALSWL(sched.TupleSource{}, 100, 500, 5000) }},
+		{"random", func() sim.Policy { return sched.NewRandomRestart(7, 100, 400, 4000, 2, 4) }},
+		{"poise", func() sim.Policy { return mustPoise(t) }},
+	}
+}
+
+// TestEngineEquivalenceTinyKernels covers the structural corner cases
+// on small synthetic kernels: cache thrashing, pure streaming,
+// compute-bound, shared-footprint, warm multi-kernel workloads, and a
+// policy that thrashes tuples every few cycles (maximum wake-hint
+// churn).
+func TestEngineEquivalenceTinyKernels(t *testing.T) {
+	cfg := testutil.TinyConfig()
+	cases := []struct {
+		name string
+		w    *sim.Workload
+		mk   func() sim.Policy
+	}{
+		{"thrash-gto", testutil.Workload("thrash", testutil.ThrashKernel("t", 64, 40, 4)), func() sim.Policy { return sim.GTO{} }},
+		{"stream-gto", testutil.Workload("stream", testutil.StreamKernel("s", 60, 4)), func() sim.Policy { return sim.GTO{} }},
+		{"compute-gto", testutil.Workload("compute", testutil.ComputeKernel("c", 40, 4)), func() sim.Policy { return sim.GTO{} }},
+		{"shared-gto", testutil.Workload("shared", testutil.SharedKernel("sh", 16, 40, 4)), func() sim.Policy { return sim.GTO{} }},
+		{"thrash-min-tuple", testutil.Workload("thrash", testutil.ThrashKernel("t", 64, 40, 4)), func() sim.Policy { return sim.Fixed{N: 1, P: 1} }},
+		{"stream-throttled", testutil.Workload("stream", testutil.StreamKernel("s", 60, 4)), func() sim.Policy { return sim.Fixed{N: 2, P: 1} }},
+		{"warm-multikernel", testutil.Workload("multi",
+			testutil.ThrashKernel("k0", 48, 30, 3),
+			testutil.StreamKernel("k1", 40, 4),
+			testutil.ComputeKernel("k2", 30, 2)), func() sim.Policy { return sim.GTO{} }},
+		{"hostile-tuple-churn", testutil.Workload("thrash", testutil.ThrashKernel("t", 64, 40, 4)), func() sim.Policy { return &hostilePolicy{} }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			assertEnginesAgree(t, cfg, tc.w, tc.mk, sim.RunOptions{}, true)
+		})
+	}
+}
+
+// TestEngineEquivalenceMemoryPressure drives the MSHR-saturated and
+// replay-heavy paths: a single-entry MSHR file forces constant parking
+// in the replay queues, and the drained-event wakeAllReplayers path.
+func TestEngineEquivalenceMemoryPressure(t *testing.T) {
+	cfg := testutil.TinyConfig()
+	cfg.L1.MSHRs = 1
+	w := testutil.Workload("pressure", testutil.ThrashKernel("p", 96, 30, 4))
+	assertEnginesAgree(t, cfg, w, func() sim.Policy { return sim.GTO{} }, sim.RunOptions{}, false)
+
+	cfg2 := testutil.TinyConfig()
+	cfg2.L1.MSHRs = 2
+	w2 := testutil.Workload("pressure2", testutil.StreamKernel("p2", 50, 4))
+	assertEnginesAgree(t, cfg2, w2, func() sim.Policy { return sim.Fixed{N: 8, P: 8} }, sim.RunOptions{}, false)
+}
+
+// TestEngineEquivalenceLimits pins the early-exit paths: the
+// MaxInstructions break must stop both engines at the same cycle with
+// the same partial counters, and the MaxCycles safety net must produce
+// the same error after the same amount of simulated work.
+func TestEngineEquivalenceLimits(t *testing.T) {
+	cfg := testutil.TinyConfig()
+	w := testutil.Workload("limits", testutil.ThrashKernel("l", 64, 60, 4))
+	assertEnginesAgree(t, cfg, w, func() sim.Policy { return sim.GTO{} },
+		sim.RunOptions{MaxInstructions: 5000}, false)
+	assertEnginesAgree(t, cfg, w, func() sim.Policy { return sim.GTO{} },
+		sim.RunOptions{MaxCycles: 300}, false)
+}
+
+// TestEngineEquivalenceTraced replays the committed golden trace — the
+// external-workload path whose kernels carry replay patterns and
+// per-warp iteration counts — under a static and an adaptive scheme.
+func TestEngineEquivalenceTraced(t *testing.T) {
+	ws, err := traceio.LoadWorkloads("../traceio/testdata/mini.ptrace.gz")
+	if err != nil {
+		t.Fatalf("LoadWorkloads: %v", err)
+	}
+	cfg := testutil.TinyConfig()
+	for _, w := range ws {
+		w := w
+		t.Run(w.Name+"-gto", func(t *testing.T) {
+			t.Parallel()
+			assertEnginesAgree(t, cfg, w, func() sim.Policy { return sim.GTO{} }, sim.RunOptions{}, false)
+		})
+		t.Run(w.Name+"-ccws", func(t *testing.T) {
+			t.Parallel()
+			assertEnginesAgree(t, cfg, w, func() sim.Policy { return sched.NewCCWS(1500) }, sim.RunOptions{}, false)
+		})
+	}
+}
+
+// TestEngineEquivalenceCatalogue proves the headline acceptance
+// criterion: every catalogue workload under every scheme class is
+// bit-identical between the engines. Under the race detector the
+// workload set shrinks to one representative per class (training,
+// memory-sensitive eval, cache-sensitive eval, compute); the full
+// catalogue runs in the normal build and in CI's dedicated step.
+func TestEngineEquivalenceCatalogue(t *testing.T) {
+	cat := workloads.NewCatalogue(workloads.Small)
+	names := []string{"gco", "ii", "bfs", "wc"}
+	if !raceEnabled {
+		names = nil
+		names = append(names, workloads.TrainingNames()...)
+		names = append(names, workloads.EvalNames()...)
+		names = append(names, workloads.ComputeNames()...)
+	}
+	cfg := testutil.TinyConfig()
+	for _, name := range names {
+		w := cat.Must(name)
+		for _, sc := range engineSchemes(t) {
+			w, sc := w, sc
+			t.Run(fmt.Sprintf("%s/%s", name, sc.name), func(t *testing.T) {
+				t.Parallel()
+				traceTuples := sc.name == "poise" || sc.name == "ccws"
+				assertEnginesAgree(t, cfg, w, sc.mk, sim.RunOptions{}, traceTuples)
+			})
+		}
+	}
+}

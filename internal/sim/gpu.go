@@ -62,7 +62,12 @@ type GPU struct {
 	respFlits int
 
 	events eventHeap
+	rq     readyQueue
 	now    int64
+
+	// blockScratch is reused by residentBlocks to count distinct live
+	// blocks without allocating on every launch attempt.
+	blockScratch []int32
 
 	kernel   *trace.Kernel
 	bodyLen  int
@@ -108,6 +113,12 @@ func New(cfg config.Config) (*GPU, error) {
 		}
 		g.SMs = append(g.SMs, s)
 	}
+	// Steady-state runs must not allocate per cycle: the event heap,
+	// ready queue and launch scratch are sized here and only truncated
+	// between runs, so a warmed (pooled) GPU reuses their storage.
+	g.events.a = make([]event, 0, 256)
+	g.rq.init(g)
+	g.blockScratch = make([]int32, 0, cfg.MaxBlocksPerSM+1)
 	perBank := config.CacheConfig{
 		SizeBytes: cfg.L2.SizeBytes / cfg.L2Banks,
 		LineBytes: cfg.L2.LineBytes,
@@ -133,8 +144,9 @@ func New(cfg config.Config) (*GPU, error) {
 // bit-identical results to a fresh one. The large fixed-size arrays
 // (cache tag stores, warp slots, port/partition servers) are zeroed in
 // place, which is where the pool's allocation savings come from; the
-// small per-run slices go back to nil to match fresh construction
-// exactly.
+// event heap, ready queue and launch scratch are truncated rather than
+// freed (reflect.DeepEqual cannot see capacity), so a pooled GPU keeps
+// their storage across runs.
 func (g *GPU) Reset() {
 	for _, s := range g.SMs {
 		s.Reset()
@@ -145,7 +157,9 @@ func (g *GPU) Reset() {
 		g.banks[i].nextFree = 0
 		g.banks[i].c.Reset()
 	}
-	g.events = eventHeap{}
+	g.events.reset()
+	g.rq.resetState()
+	g.blockScratch = g.blockScratch[:0]
 	g.now = 0
 	g.kernel = nil
 	g.bodyLen = 0
@@ -185,6 +199,14 @@ func (g *GPU) SetTupleAll(n, p int) {
 // SetTuple applies a warp-tuple on one SM and logs it when tracing.
 func (g *GPU) SetTuple(smID, n, p int) {
 	g.SMs[smID].SetTuple(n, p)
+	// refreshBits cleared every wake hint on the SM: requeue its
+	// schedulers so the ready engine attempts them exactly when the
+	// dense scan would (no-op outside a ready-engine run).
+	if g.rq.active {
+		for i := range g.SMs[smID].Scheds {
+			g.requeueSched(g.SMs[smID], i)
+		}
+	}
 	if g.TraceTuples {
 		nn, pp := g.SMs[smID].Tuple()
 		g.TupleLog = append(g.TupleLog, TupleEvent{Cycle: g.now, SM: smID, N: nn, P: pp})
@@ -247,17 +269,30 @@ func (g *GPU) launchBlocks() {
 	}
 }
 
-// residentBlocks counts distinct live blocks on an SM.
+// residentBlocks counts distinct live blocks on an SM. The distinct
+// set is tiny (bounded by MaxBlocksPerSM), so a linear scan over a
+// reused scratch slice beats allocating a map per launch attempt.
 func (g *GPU) residentBlocks(s *sm.SM) int {
-	seen := map[int32]bool{}
+	seen := g.blockScratch[:0]
 	for _, sch := range s.Scheds {
 		for i := range sch.Slots {
 			w := &sch.Slots[i]
-			if w.Active {
-				seen[w.Block] = true
+			if !w.Active {
+				continue
+			}
+			dup := false
+			for _, b := range seen {
+				if b == w.Block {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				seen = append(seen, w.Block)
 			}
 		}
 	}
+	g.blockScratch = seen[:0]
 	return len(seen)
 }
 
@@ -286,13 +321,15 @@ func (g *GPU) launchBlockOn(s *sm.SM, b int) {
 		global := int32(b*k.WarpsPerBlock + wi)
 		placed := false
 		for try := 0; try < len(s.Scheds); try++ {
-			sch := s.Scheds[sched]
+			idx := sched
+			sch := s.Scheds[idx]
 			sched = (sched + 1) % len(s.Scheds)
 			if sch.ActiveWarps() >= capPer {
 				continue
 			}
 			iters := k.WarpIters(int(global))
 			if sch.Launch(global, int32(b), int32(wi), iters) >= 0 {
+				g.noteLaunch(s, idx)
 				placed = true
 				break
 			}

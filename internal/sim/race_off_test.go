@@ -1,0 +1,9 @@
+//go:build !race
+
+package sim_test
+
+// raceEnabled lets the simulation-heavy engine-equivalence tests
+// shrink their workload set when the race detector multiplies the cost
+// of every simulated cycle. The full catalogue runs in the normal
+// build (and in CI's dedicated no-race equivalence step).
+const raceEnabled = false

@@ -1,0 +1,43 @@
+package sim_test
+
+import (
+	"testing"
+
+	"poise/internal/sim"
+	"poise/internal/testutil"
+)
+
+// TestReplayQueueBoundedUnderPressure runs a thrashing kernel against a
+// single-entry MSHR file — every cycle of every warp fights for the one
+// entry, so warps park in the replay queues continuously — and checks
+// the queues never grow past the architectural bound of one parked
+// entry per resident warp. The head-reslice pop this guards against
+// leaked one backing slot per admission, so capacity grew with the
+// number of replays instead of staying at the warp count.
+func TestReplayQueueBoundedUnderPressure(t *testing.T) {
+	cfg := testutil.TinyConfig()
+	cfg.L1.MSHRs = 1
+	g, err := sim.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	w := testutil.Workload("pressure", testutil.ThrashKernel("p", 96, 40, 4))
+	res, err := g.RunWorkload(w, sim.GTO{}, sim.RunOptions{})
+	if err != nil {
+		t.Fatalf("RunWorkload: %v", err)
+	}
+	var replays int64
+	for _, k := range res.PerKernel {
+		replays += k.Replays
+	}
+	if replays == 0 {
+		t.Fatal("workload produced no replays; MSHR pressure scenario is broken")
+	}
+	bound := cfg.MaxWarpsPerSM()
+	for _, s := range g.SMs {
+		if c := cap(s.ReplayQ); c > bound {
+			t.Errorf("SM %d replay queue capacity %d exceeds resident-warp bound %d (storage leak)",
+				s.ID, c, bound)
+		}
+	}
+}

@@ -9,6 +9,20 @@ import (
 	"poise/internal/trace"
 )
 
+// Engine selects the cycle-loop implementation of Run.
+type Engine uint8
+
+const (
+	// EngineReady is the default: the ready-queue engine (ready.go),
+	// whose per-cycle cost is proportional to the schedulers that can
+	// actually issue.
+	EngineReady Engine = iota
+	// EngineDense is the reference dense scan (dense.go) that visits
+	// every scheduler every cycle. It is kept for equivalence tests and
+	// benchmarks; results are bit-identical to EngineReady.
+	EngineDense
+)
+
 // RunOptions bound a simulation.
 type RunOptions struct {
 	// MaxCycles aborts a kernel that exceeds this many cycles (safety
@@ -20,6 +34,8 @@ type RunOptions struct {
 	MaxInstructions int64
 	// Warm keeps L2 contents from the previous kernel of a workload.
 	Warm bool
+	// Engine picks the cycle-loop implementation (default EngineReady).
+	Engine Engine
 }
 
 // KernelResult aggregates the measurements of one kernel run.
@@ -113,78 +129,10 @@ func (g *GPU) Run(k *trace.Kernel, p Policy, opts RunOptions) (KernelResult, err
 		}
 	}
 
-	for g.doneWarp < g.total {
-		// Deliver due events.
-		for {
-			e, ok := g.events.peek()
-			if !ok || e.cycle > g.now {
-				break
-			}
-			g.events.pop()
-			if e.kind == evFill {
-				g.completeFill(e)
-			}
-		}
-		if p != nil && g.now >= policyNext {
-			policyNext = p.Step(g, g.now)
-			if policyNext <= g.now {
-				policyNext = g.now + 1
-			}
-		}
-
-		anyIssued := false
-		for _, s := range g.SMs {
-			for _, sch := range s.Scheds {
-				if g.issueOne(s, sch) {
-					anyIssued = true
-				}
-			}
-		}
-
-		if g.now >= opts.MaxCycles {
-			return KernelResult{}, fmt.Errorf("sim: kernel %s exceeded %d cycles", k.Name, opts.MaxCycles)
-		}
-		if opts.MaxInstructions > 0 && g.totalInstructions() >= opts.MaxInstructions {
-			break
-		}
-
-		if anyIssued {
-			g.now++
-			continue
-		}
-		// Idle: jump to the next interesting cycle.
-		next := Never
-		if e, ok := g.events.peek(); ok {
-			next = e.cycle
-		}
-		if policyNext < next {
-			next = policyNext
-		}
-		// Lazily-resolved wakes (hit returns, pipeline) are events too,
-		// so a Never here with warps outstanding means either parked
-		// replayers whose wake-up fills already drained (wake them all
-		// and continue) or a genuine deadlock.
-		if next == Never {
-			if g.wakeAllReplayers() {
-				g.now++
-				continue
-			}
-			if g.doneWarp < g.total {
-				return KernelResult{}, fmt.Errorf("sim: deadlock at cycle %d in %s (%d/%d warps done)",
-					g.now, k.Name, g.doneWarp, g.total)
-			}
-			break
-		}
-		if next <= g.now {
-			next = g.now + 1
-		}
-		g.now = next
+	if opts.Engine == EngineDense {
+		return g.runDense(k, p, opts, policyNext)
 	}
-
-	if p != nil {
-		p.KernelEnd(g, g.now)
-	}
-	return g.collect(k), nil
+	return g.runReady(k, p, opts, policyNext)
 }
 
 // wakeAllReplayers resolves every parked replay token (used when the
@@ -204,9 +152,7 @@ func (g *GPU) wakeAllReplayers() bool {
 		}
 		s.ReplayQ = s.ReplayQ[:0]
 		if woke {
-			for _, sch := range s.Scheds {
-				sch.ClearWakeHint()
-			}
+			g.wakeSMScheds(s)
 		}
 	}
 	return woke
@@ -446,10 +392,16 @@ func (g *GPU) completeFill(e event) {
 			w.ResolveToken(wt.Token)
 		}
 	}
-	// The released MSHR entry admits one parked replayer (FIFO).
-	for len(s.ReplayQ) > 0 {
-		r := s.ReplayQ[0]
-		s.ReplayQ = s.ReplayQ[1:]
+	// The released MSHR entry admits one parked replayer (FIFO). The
+	// consumed prefix (stale entries plus the admitted one) is removed
+	// by copying the tail down so the queue reuses its backing storage;
+	// reslicing the head off (q = q[1:]) would strand one slot per
+	// admission and reallocate under sustained MSHR pressure.
+	q := s.ReplayQ
+	consumed := 0
+	for consumed < len(q) {
+		r := q[consumed]
+		consumed++
 		sch := s.Scheds[r.Sched]
 		w := &sch.Slots[r.Slot]
 		if w.Active && w.Global == r.Warp {
@@ -458,14 +410,21 @@ func (g *GPU) completeFill(e event) {
 		}
 		// Stale entry (warp gone): admit the next one.
 	}
+	if consumed > 0 {
+		s.ReplayQ = q[:copy(q, q[consumed:])]
+	}
+	// The entry is fully processed: hand it back for reuse so a steady
+	// miss stream allocates no MSHR state per fill.
+	s.MSHR.Recycle(m)
 	// The resolved tokens unblock their owners: rescan this SM's
 	// schedulers.
-	for _, sch := range s.Scheds {
-		sch.ClearWakeHint()
-	}
+	g.wakeSMScheds(s)
 }
 
-// retireWarp finishes a warp and refills block residency.
+// retireWarp finishes a warp and refills block residency. The retiring
+// scheduler needs no ready-queue bookkeeping: it is the hot scheduler
+// currently issuing, so it carries no open blocked span, and Retire's
+// refreshBits cleared its wake hint so it stays hot.
 func (g *GPU) retireWarp(s *sm.SM, sch *sm.Scheduler, slot int) {
 	sch.Retire(slot)
 	g.doneWarp++

@@ -109,6 +109,23 @@ func (s *Scheduler) SetWakeHint(c int64) { s.wakeHint = c }
 // scheduler's warps, or warp/tuple state changed).
 func (s *Scheduler) ClearWakeHint() { s.wakeHint = 0 }
 
+// AccountBlocked adds a span of blocked visits to the stall or idle
+// counter in bulk. The dense reference engine increments StallCycles or
+// IdleCycles once per visited cycle on every blocked scheduler; the
+// ready-queue engine skips those visits entirely and settles the same
+// arithmetic here when the span closes, so the counters stay
+// bit-identical between the two engines.
+func (s *Scheduler) AccountBlocked(visits int64, active bool) {
+	if visits <= 0 {
+		return
+	}
+	if active {
+		s.StallCycles += visits
+	} else {
+		s.IdleCycles += visits
+	}
+}
+
 // Launch places a new warp into a free slot and returns its slot index,
 // or -1 if the scheduler is full.
 func (s *Scheduler) Launch(global, block, warpInBlk int32, iters int) int {
