@@ -208,7 +208,7 @@ func (h *Harness) sweepOptions(train bool) profile.SweepOptions {
 		o.StepN, o.StepP = h.Opt.TrainStepN, h.Opt.TrainStepP
 	}
 	if h.Opt.Prune {
-		o.Refine = h.refineOptions()
+		o.Refine = h.refineOptions(train)
 	}
 	return o
 }
@@ -216,10 +216,14 @@ func (h *Harness) sweepOptions(train bool) profile.SweepOptions {
 // refineOptions is the harness's refinement configuration: defaults,
 // ranked with the harness's Eq. 12 weights. BuildDataset passes these
 // options through to the store, so the training sweeps prune exactly
-// like the evaluation sweeps do.
-func (h *Harness) refineOptions() *profile.RefineOptions {
+// like the evaluation sweeps do — except that training skips the SWL
+// diagonal front: the dataset's targets consume only the scored
+// optimum and the baseline, never BestDiagonal, so the diagonal climb
+// is grid points for nothing there.
+func (h *Harness) refineOptions(train bool) *profile.RefineOptions {
 	return &profile.RefineOptions{
 		W0: h.Params.ScoreW0, W1: h.Params.ScoreW1, W2: h.Params.ScoreW2,
+		SkipDiagonal: train,
 	}
 }
 
@@ -246,8 +250,9 @@ func (h *Harness) tagMode(train, prune bool) string {
 		// Pruned profiles carry a subset of the grid, and which subset
 		// depends on every refinement parameter: never let pruned
 		// entries collide with exhaustive ones or with a campaign
-		// refined under different parameters.
-		s += "-prune" + h.refineOptions().Tag()
+		// refined under different parameters (the train grid skips the
+		// diagonal front, so its Tag differs from eval's).
+		s += "-prune" + h.refineOptions(train).Tag()
 	}
 	if train {
 		// The training pipeline sweeps Cat.TrainingSet() under this one

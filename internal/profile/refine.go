@@ -61,6 +61,13 @@ type RefineOptions struct {
 	// defaults (config.DefaultPoise), or set all three explicitly —
 	// a partially-set triple is used exactly as given.
 	W0, W1, W2 float64
+	// SkipDiagonal drops the p == N diagonal climb from refinement.
+	// Training sweeps want this: BuildDataset's targets only consume
+	// the scored optimum (Best + its Eq. 12 neighbourhood) and the
+	// baseline, never BestDiagonal, so climbing the SWL front is dead
+	// weight there. Evaluation sweeps (Table IIIa, the SWL rows of the
+	// figures) must leave it false.
+	SkipDiagonal bool
 }
 
 func (o RefineOptions) withDefaults() RefineOptions {
@@ -94,8 +101,14 @@ func (o RefineOptions) withDefaults() RefineOptions {
 // round partials, because their pruned subsets differ.
 func (o RefineOptions) Tag() string {
 	r := o.withDefaults()
-	return fmt.Sprintf("%d.%d.%d.%d.%g.%g.%g.%g",
+	tag := fmt.Sprintf("%d.%d.%d.%d.%g.%g.%g.%g",
 		r.CoarseN, r.CoarseP, r.TopK, r.MaxRounds, r.FlatTol, r.W0, r.W1, r.W2)
+	if r.SkipDiagonal {
+		// Appended rather than folded into the base format so existing
+		// cached campaigns (all diagonal-inclusive) keep their keys.
+		tag += ".nodiag"
+	}
+	return tag
 }
 
 // RefineStats reports what a pruned sweep actually simulated.
@@ -289,9 +302,13 @@ func refineWants(pr *Profile, grid []gridplan.Coord, opts SweepOptions, ropts Re
 	// The SWL optimum lives on the p == N diagonal, which round 0 only
 	// sampled coarsely: climb it separately, expanding the top swept
 	// diagonal points one diagonal grid step, so BestDiagonal converges
-	// to target resolution just like Best does.
-	diagonal := suppress(bySpeedup, narrowK, reachN, reachP,
-		func(pt Point) bool { return pt.N == pt.P })
+	// to target resolution just like Best does. Training sweeps skip
+	// this front — nothing they derive reads BestDiagonal.
+	var diagonal []Point
+	if !ropts.SkipDiagonal {
+		diagonal = suppress(bySpeedup, narrowK, reachN, reachP,
+			func(pt Point) bool { return pt.N == pt.P })
+	}
 	want := map[gridplan.Coord]bool{}
 	for _, g := range grid {
 		for i, c := range climbers {

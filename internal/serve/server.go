@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"time"
@@ -248,19 +249,19 @@ func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
 
 // handleIngest accepts either a raw poisetrace container (optionally
 // gzipped; detected by content) or a pre-characterised JSON Record.
-// Raw traces are characterised and profiled on the spot — the online
-// analogue of the offline training pipeline — then the record is
-// appended to the sample log and the background retrainer notified.
+// Raw traces are piped through the streaming trace reader — the body
+// flows straight into flat replay arenas, never buffered whole — then
+// characterised and profiled on the spot, the online analogue of the
+// offline training pipeline; finally the record is appended to the
+// sample log and the background retrainer notified.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
-	data, err := readBody(w, r, s.cfg.MaxBody)
-	if err != nil {
-		http.Error(w, "serve: reading ingest body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
+	body := bufio.NewReader(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	sniff, _ := body.Peek(len(traceMagic))
 	var rec Record
 	switch {
-	case isPoisetrace(data):
-		rec, err = s.recordFromTrace(data)
+	case isPoisetrace(sniff):
+		var err error
+		rec, err = s.recordFromTrace(body)
 		if err != nil {
 			status := http.StatusBadRequest
 			if errors.Is(err, errSweep) {
@@ -270,6 +271,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	default:
+		data, err := io.ReadAll(body)
+		if err != nil {
+			http.Error(w, "serve: reading ingest body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
 		if err := json.Unmarshal(data, &rec); err != nil {
 			http.Error(w, "serve: ingest body is neither a poisetrace nor a JSON record: "+err.Error(), http.StatusBadRequest)
 			return
@@ -301,24 +307,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // as opposed to trace parsing (client-side).
 var errSweep = errors.New("serve: profiling ingested trace")
 
-// recordFromTrace turns a raw trace upload into a Record: parse,
-// characterise, profile every kernel through the same admission and
-// scoring pipeline the offline trainer uses.
-func (s *Server) recordFromTrace(data []byte) (Record, error) {
-	t, err := traceio.Read(bytes.NewReader(data))
+// recordFromTrace turns a raw trace upload into a Record: stream the
+// body into replayable form (characterising in the same pass), then
+// profile every kernel through the same admission and scoring pipeline
+// the offline trainer uses.
+func (s *Server) recordFromTrace(body io.Reader) (Record, error) {
+	wl, sig, err := traceio.ReadWorkload(body, &traceio.CharacteriseOptions{})
 	if err != nil {
 		return Record{}, fmt.Errorf("serve: parsing ingested trace: %w", err)
 	}
-	wl, err := t.Workload()
-	if err != nil {
-		return Record{}, fmt.Errorf("serve: replaying ingested trace: %w", err)
-	}
-	sig := traceio.Characterise(t, traceio.CharacteriseOptions{})
 	store := profile.Store{Dir: s.cfg.SweepCache}
 	tag := profile.SweepTag(s.cfg.SimCfg, s.cfg.Sweep)
 	ds, err := poise.BuildDataset(s.cfg.SimCfg, s.cfg.Params, []*sim.Workload{wl}, s.cfg.Sweep, store, tag)
 	if err != nil {
-		return Record{}, fmt.Errorf("%w %s: %v", errSweep, t.Name, err)
+		return Record{}, fmt.Errorf("%w %s: %v", errSweep, wl.Name, err)
 	}
 	return Record{Signature: sig, Samples: ds.Samples}, nil
 }
@@ -328,21 +330,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(s.Stats())
 }
 
+// traceMagic is the poisetrace container magic, for content sniffing.
+const traceMagic = "POISETRACE\n"
+
 // isPoisetrace sniffs the container magic, including through a gzip
 // header (mirrors traceio's content detection: poisetrace is the only
 // gzipped format the service ingests).
 func isPoisetrace(data []byte) bool {
-	return bytes.HasPrefix(data, []byte("POISETRACE\n")) ||
+	return bytes.HasPrefix(data, []byte(traceMagic)) ||
 		(len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b)
-}
-
-// readBody drains a bounded request body.
-func readBody(w http.ResponseWriter, r *http.Request, maxBody int64) ([]byte, error) {
-	var buf bytes.Buffer
-	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxBody)); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
 }
 
 // Serve runs the service on addr until ctx is cancelled or the

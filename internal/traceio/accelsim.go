@@ -2,8 +2,10 @@ package traceio
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 	"strconv"
 	"strings"
@@ -32,9 +34,17 @@ import (
 //
 // Instruction lines are "PC mask ndest [dest...] opcode nsrc [src...]"
 // with memory ops (LD*/ST* opcodes) carrying a trailing access width
-// and the warp's coalesced base address. Multiple kernel sections may
+// and either one coalesced base address or — as the real tracer dumps
+// uncoalesced accesses — one address per active lane, exactly
+// popcount(mask) of them. Per-lane lists are coalesced within the
+// instruction to their distinct cache lines in first-touch order, the
+// same merge the hardware's coalescing unit performs, so a divergent
+// gather becomes several stream entries and a unit-stride access
+// stays one. Shared-memory ops (LDS/STS) use the same grammar but
+// never leave the SM: their addresses are validated then dropped, and
+// the op counts toward the ALU gap. Multiple kernel sections may
 // appear in one stream (a new "-kernel name" line starts the next
-// kernel).
+// kernel); gzipped input is detected and unwrapped transparently.
 //
 // Mapping onto the loop-body model: each static memory PC becomes one
 // pattern slot (first-appearance order); the i-th dynamic occurrence
@@ -44,7 +54,16 @@ import (
 // the trace's instructions-per-load ratio (the paper's In) is
 // preserved. Warps that never touch a slot replay a single null line.
 func ReadAccelSim(r io.Reader, workload string) (*Trace, error) {
-	p := &accelParser{sc: bufio.NewScanner(r), workload: workload}
+	br := bufio.NewReader(r)
+	if hdr, err := br.Peek(2); err == nil && hdr[0] == 0x1f && hdr[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("traceio: gzip: %w", err)
+		}
+		defer gz.Close()
+		br = bufio.NewReader(gz)
+	}
+	p := &accelParser{sc: bufio.NewScanner(br), workload: workload}
 	p.sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	return p.parse()
 }
@@ -81,6 +100,10 @@ type accelParser struct {
 	gridDim  [3]int
 	blockDim [3]int
 	name     string
+
+	// lineBuf is the per-instruction coalescing scratch (≤ one line per
+	// lane), reused across instruction lines.
+	lineBuf []uint64
 }
 
 func (p *accelParser) errf(format string, args ...any) error {
@@ -308,6 +331,13 @@ func isMemOpcode(op string) (trace.OpKind, bool) {
 	return trace.OpALU, false
 }
 
+// isSharedOpcode recognises shared-memory ops. They carry the same
+// width/address tail as global ops but stay on-chip, outside the
+// L1/L2/DRAM path the model simulates.
+func isSharedOpcode(op string) bool {
+	return strings.HasPrefix(op, "LDS") || strings.HasPrefix(op, "STS")
+}
+
 func (p *accelParser) instruction(line string) error {
 	k, err := p.ensureKernel()
 	if err != nil {
@@ -324,7 +354,8 @@ func (p *accelParser) instruction(line string) error {
 	if err != nil {
 		return p.errf("bad PC %q: %v", tok[0], err)
 	}
-	if _, err := parseHex(tok[1]); err != nil {
+	mask, err := parseHex(tok[1])
+	if err != nil {
 		return p.errf("bad active mask %q: %v", tok[1], err)
 	}
 	ndest, err := strconv.Atoi(tok[2])
@@ -338,11 +369,12 @@ func (p *accelParser) instruction(line string) error {
 	opcode := tok[i]
 	i++
 	kind, isMem := isMemOpcode(opcode)
-	if !isMem {
+	shared := isSharedOpcode(opcode)
+	if !isMem && !shared {
 		k.aluCount++
 		return nil
 	}
-	// Skip "nsrc [src...]" when present, then expect "width address".
+	// Skip "nsrc [src...]" when present, then expect "width address...".
 	if i < len(tok) {
 		if nsrc, err := strconv.Atoi(tok[i]); err == nil && nsrc >= 0 {
 			i += 1 + nsrc
@@ -354,11 +386,41 @@ func (p *accelParser) instruction(line string) error {
 	if _, err := strconv.Atoi(tok[i]); err != nil {
 		return p.errf("memory op %q has bad access width %q", line, tok[i])
 	}
-	addr, err := parseHex(tok[i+1])
-	if err != nil {
-		return p.errf("memory op %q has bad address %q: %v", line, tok[i+1], err)
+	// One address is the tracer's coalesced form; otherwise the dump is
+	// uncoalesced and must list exactly one address per active lane.
+	addrToks := tok[i+1:]
+	if lanes := bits.OnesCount64(mask); len(addrToks) != 1 && len(addrToks) != lanes {
+		return p.errf("memory op %q has %d addresses for a %d-lane active mask",
+			line, len(addrToks), lanes)
 	}
-	addr -= addr % trace.LineBytes
+	// Coalesce within the instruction: distinct cache lines in
+	// first-touch order, the merge the hardware's coalescing unit
+	// performs before the access reaches the memory system.
+	lines := p.lineBuf[:0]
+	for _, at := range addrToks {
+		addr, err := parseHex(at)
+		if err != nil {
+			return p.errf("memory op %q has bad address %q: %v", line, at, err)
+		}
+		addr -= addr % trace.LineBytes
+		dup := false
+		for _, prev := range lines {
+			if prev == addr {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			lines = append(lines, addr)
+		}
+	}
+	p.lineBuf = lines[:0]
+	if shared {
+		// Validated but on-chip: contributes compute latency, no memory
+		// traffic.
+		k.aluCount++
+		return nil
+	}
 
 	slot, ok := k.slots[pc]
 	if !ok {
@@ -371,7 +433,7 @@ func (p *accelParser) instruction(line string) error {
 	if k.streams[slot] == nil {
 		k.streams[slot] = map[int][]uint64{}
 	}
-	k.streams[slot][global] = append(k.streams[slot][global], addr)
+	k.streams[slot][global] = append(k.streams[slot][global], lines...)
 	k.memCount++
 	return nil
 }

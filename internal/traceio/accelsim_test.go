@@ -1,6 +1,9 @@
 package traceio
 
 import (
+	"bytes"
+	"compress/gzip"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -118,6 +121,96 @@ func TestReadAccelSimGolden(t *testing.T) {
 	}
 }
 
+// TestReadAccelSimCoalescingMask covers the uncoalesced dialect: a
+// memory op carrying one address per active lane must coalesce to its
+// distinct cache lines in first-touch order, shared-memory ops must be
+// validated then folded into the ALU gap, and the gzipped golden
+// fixture must load through ReadFile's content dispatch. The fixture
+// (testdata/vecadd_mask.trace.gz) is the committed form of this dump.
+func TestReadAccelSimCoalescingMask(t *testing.T) {
+	tr, err := ReadFile("testdata/vecadd_mask.trace.gz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "vecadd_mask" || len(tr.Kernels) != 1 {
+		t.Fatalf("trace identity wrong: %+v", tr)
+	}
+	kt := tr.Kernels[0]
+	if kt.Blocks != 2 || kt.WarpsPerBlock != 2 || kt.Slots != 3 {
+		t.Fatalf("geometry wrong: blocks=%d wpb=%d slots=%d", kt.Blocks, kt.WarpsPerBlock, kt.Slots)
+	}
+	// Warp 0's first LDG lists 4 lane addresses inside one 128-byte
+	// line: one stream entry. Its second LDG straddles two lines; the
+	// STG's 4 lanes cover three.
+	if got := kt.Streams[0][0]; len(got) != 1 || got[0] != 0x100000 {
+		t.Fatalf("slot 0 warp 0 = %#x, want the one coalesced line 0x100000", got)
+	}
+	if got := kt.Streams[1][0]; !reflect.DeepEqual(got, []uint64{0x200000, 0x200080}) {
+		t.Fatalf("slot 1 warp 0 = %#x, want two distinct lines", got)
+	}
+	if got := kt.Streams[2][0]; !reflect.DeepEqual(got, []uint64{0x300000, 0x300080, 0x300100}) {
+		t.Fatalf("slot 2 warp 0 = %#x, want three first-touch-ordered lines", got)
+	}
+	// Warp 2 only issued the first load; warp 3 has no section at all —
+	// untouched slots replay the padded null line.
+	if got := kt.Streams[0][2]; len(got) != 1 || got[0] != 0x100200 {
+		t.Fatalf("slot 0 warp 2 = %#x", got)
+	}
+	for s := 0; s < 3; s++ {
+		if got := kt.Streams[s][3]; len(got) != 1 || got[0] != 0 {
+			t.Fatalf("slot %d warp 3 = %#x, want null-line padding", s, got)
+		}
+	}
+	// Shared ops (3 LDS) and IADDs (3) feed the ALU gap; with 7 global
+	// memory instructions the rounded gap is 1, so the synthesised body
+	// alternates mem/ALU.
+	var alus int
+	for _, ins := range kt.Body {
+		if ins.Kind == trace.OpALU {
+			alus++
+		}
+	}
+	if alus != kt.Slots {
+		t.Fatalf("body ALU gap total = %d, want %d (gap 1 per memory slot)", alus, kt.Slots)
+	}
+	// The dialect must replay end to end like the legacy form.
+	w, err := tr.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunWorkload(config.Default().Scale(1), w, sim.GTO{}, sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions == 0 || res.L1.Accesses == 0 {
+		t.Fatalf("mask-dialect replay ran nothing: %+v", res)
+	}
+}
+
+// TestReadAccelSimGzipMatchesPlain pins the transparent decompression:
+// the same text, plain and gzipped, must parse to DeepEqual traces.
+func TestReadAccelSimGzipMatchesPlain(t *testing.T) {
+	plain, err := ReadAccelSim(strings.NewReader(accelSample), "vecadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(accelSample)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	zipped, err := ReadAccelSim(&buf, "vecadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, zipped) {
+		t.Fatal("gzipped accel-sim text parsed differently from plain")
+	}
+}
+
 func TestReadAccelSimErrors(t *testing.T) {
 	cases := []struct {
 		name string
@@ -135,6 +228,10 @@ func TestReadAccelSimErrors(t *testing.T) {
 		{"instr before warp", "-kernel name = k\n-grid dim = (1,1,1)\n-block dim = (32,1,1)\nthread block = 0,0,0\n0008 ffffffff 1 R1 LDG.E 1 R2 4 0x80\n", "outside a warp"},
 		{"bad pc", "-kernel name = k\n-grid dim = (1,1,1)\n-block dim = (32,1,1)\nthread block = 0,0,0\nwarp = 0\nzz ffffffff 1 R1 LDG.E 1 R2 4 0x80\n", "bad PC"},
 		{"missing address", "-kernel name = k\n-grid dim = (1,1,1)\n-block dim = (32,1,1)\nthread block = 0,0,0\nwarp = 0\n0008 ffffffff 1 R1 LDG.E\n", "missing width"},
+		{"mask mismatch", "-kernel name = k\n-grid dim = (1,1,1)\n-block dim = (32,1,1)\nthread block = 0,0,0\nwarp = 0\n0008 0000000f 1 R1 LDG.E 1 R2 4 0x80 0x100\n", "2 addresses for a 4-lane active mask"},
+		{"bad lane address", "-kernel name = k\n-grid dim = (1,1,1)\n-block dim = (32,1,1)\nthread block = 0,0,0\nwarp = 0\n0008 00000003 1 R1 LDG.E 1 R2 4 0x80 zz\n", "bad address"},
+		{"shared missing width", "-kernel name = k\n-grid dim = (1,1,1)\n-block dim = (32,1,1)\nthread block = 0,0,0\nwarp = 0\n0008 ffffffff 1 R1 LDS.128 1 R2\n", "missing width"},
+		{"shared mask mismatch", "-kernel name = k\n-grid dim = (1,1,1)\n-block dim = (32,1,1)\nthread block = 0,0,0\nwarp = 0\n0008 00000007 1 R1 STS.128 1 R2 16 0x40 0x80\n", "2 addresses for a 3-lane active mask"},
 		{"no memory ops", "-kernel name = k\n-grid dim = (1,1,1)\n-block dim = (32,1,1)\nthread block = 0,0,0\nwarp = 0\n0008 ffffffff 1 R1 IADD 1 R2\n", "no memory instructions"},
 		{"grid overflow", "-kernel name = k\n-grid dim = (2000000000,2000000000,1)\n-block dim = (32,1,1)\nthread block = 0,0,0\n", "warp limit"},
 		{"block dim overflow", "-kernel name = k\n-grid dim = (1,1,1)\n-block dim = (2000000000,2000000000,1)\nthread block = 0,0,0\n", "warp limit"},

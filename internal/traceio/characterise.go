@@ -74,13 +74,45 @@ const reuseSampleWarps = 8
 // warps — the in-phase schedule a full-occupancy GPU approximates —
 // tracking each line's previous toucher.
 func Characterise(t *Trace, opts CharacteriseOptions) Signature {
+	views := make([]kernelView, len(t.Kernels))
+	for i, kt := range t.Kernels {
+		views[i] = kt.view()
+	}
+	return signatureOf(t.Name, views, opts)
+}
+
+// kernelView is the scan core's read-only window onto one kernel: the
+// loop body, launch shape, and a per-(slot, warp) stream accessor. It
+// abstracts over where the streams live — nested KernelTrace slices or
+// flat Replay arenas — so the in-memory and streaming ingest paths
+// characterise through the identical code and agree bit-for-bit.
+type kernelView struct {
+	body       []trace.Instr
+	warpIters  []int
+	totalWarps int
+	maxIters   int
+	stream     func(slot, g int) []uint64
+}
+
+func (kt *KernelTrace) view() kernelView {
+	return kernelView{
+		body:       kt.Body,
+		warpIters:  kt.WarpIters,
+		totalWarps: kt.TotalWarps(),
+		maxIters:   kt.MaxIters(),
+		stream:     func(s, g int) []uint64 { return kt.Streams[s][g] },
+	}
+}
+
+// signatureOf aggregates per-kernel scans into a workload Signature.
+func signatureOf(name string, views []kernelView, opts CharacteriseOptions) Signature {
 	if opts.MaxAccesses == 0 {
 		opts.MaxAccesses = DefaultMaxAccesses
 	}
 	if opts.MaxDist <= 0 {
 		opts.MaxDist = DefaultMaxDist
 	}
-	sig := Signature{Workload: t.Name, Kernels: len(t.Kernels)}
+	sig := Signature{Workload: name, Kernels: len(views)}
 
 	var (
 		issueTotal float64 // instruction issues, weights In
@@ -94,13 +126,13 @@ func Characterise(t *Trace, opts CharacteriseOptions) Signature {
 		coldN      int64
 		scanned    int64
 	)
-	for _, kt := range t.Kernels {
-		ks := characteriseKernel(kt, opts)
-		issues := float64(len(kt.Body)) * float64(totalIters(kt))
+	for _, v := range views {
+		ks := characteriseKernel(v, opts)
+		issues := float64(len(v.body)) * float64(totalIters(v.warpIters))
 		issueTotal += issues
 		inSum += ks.in * issues
-		warpTotal += float64(kt.TotalWarps())
-		footSum += ks.footprint * float64(kt.TotalWarps())
+		warpTotal += float64(v.totalWarps)
+		footSum += ks.footprint * float64(v.totalWarps)
 		finiteSum += float64(ks.finite)
 		distSum += ks.meanDist * float64(ks.finite)
 		intraN += ks.intra
@@ -139,9 +171,9 @@ type kernelSig struct {
 	accesses  int64
 }
 
-func totalIters(kt *KernelTrace) int64 {
+func totalIters(warpIters []int) int64 {
 	var n int64
-	for _, it := range kt.WarpIters {
+	for _, it := range warpIters {
 		n += int64(it)
 	}
 	return n
@@ -159,20 +191,20 @@ func loadSlots(body []trace.Instr) []int {
 	return out
 }
 
-func characteriseKernel(kt *KernelTrace, opts CharacteriseOptions) kernelSig {
-	loads := loadSlots(kt.Body)
+func characteriseKernel(v kernelView, opts CharacteriseOptions) kernelSig {
+	loads := loadSlots(v.body)
 	ks := kernelSig{}
 	if len(loads) == 0 {
-		ks.in = float64(len(kt.Body)) * 1000 // loadless: effectively infinite, as Kernel.In
+		ks.in = float64(len(v.body)) * 1000 // loadless: effectively infinite, as Kernel.In
 		return ks
 	}
-	ks.in = float64(len(kt.Body)) / float64(len(loads))
+	ks.in = float64(len(v.body)) / float64(len(loads))
 
 	budget := int64(opts.MaxAccesses)
 	if budget < 0 {
 		budget = 1 << 62
 	}
-	total := kt.TotalWarps()
+	total := v.totalWarps
 
 	// Per-warp footprint over the full recorded streams (cheap: one set
 	// insert per access).
@@ -181,7 +213,7 @@ func characteriseKernel(kt *KernelTrace, opts CharacteriseOptions) kernelSig {
 	for g := 0; g < total; g++ {
 		clear(distinct)
 		for _, s := range loads {
-			for _, addr := range kt.Streams[s][g] {
+			for _, addr := range v.stream(s, g) {
 				distinct[addr/trace.LineBytes] = struct{}{}
 			}
 		}
@@ -207,12 +239,12 @@ func characteriseKernel(kt *KernelTrace, opts CharacteriseOptions) kernelSig {
 		clear(lastLine)
 		var n int64
 	warp:
-		for it := 0; it < kt.WarpIters[g]; it++ {
+		for it := 0; it < v.warpIters[g]; it++ {
 			for _, s := range loads {
 				if n >= perWarp {
 					break warp
 				}
-				stream := kt.Streams[s][g]
+				stream := v.stream(s, g)
 				line := stream[it%len(stream)] / trace.LineBytes
 				if prev, ok := lastLine[s]; ok && prev == line {
 					continue // intra-line spatial run
@@ -233,18 +265,17 @@ func characteriseKernel(kt *KernelTrace, opts CharacteriseOptions) kernelSig {
 	// Intra/inter/cold split: round-robin interleave of every warp,
 	// O(1) per access (only the previous toucher of each line).
 	lastWarp := map[uint64]int{}
-	maxIters := kt.MaxIters()
 scan:
-	for it := 0; it < maxIters; it++ {
+	for it := 0; it < v.maxIters; it++ {
 		for g := 0; g < total; g++ {
-			if it >= kt.WarpIters[g] {
+			if it >= v.warpIters[g] {
 				continue
 			}
 			for _, s := range loads {
 				if ks.accesses >= budget {
 					break scan
 				}
-				stream := kt.Streams[s][g]
+				stream := v.stream(s, g)
 				line := stream[it%len(stream)] / trace.LineBytes
 				prev, seen := lastWarp[line]
 				ks.accesses++

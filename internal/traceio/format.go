@@ -2,7 +2,6 @@ package traceio
 
 import (
 	"bufio"
-	"bytes"
 	"compress/gzip"
 	"encoding/binary"
 	"encoding/json"
@@ -207,115 +206,48 @@ func Write(w io.Writer, t *Trace, opts WriteOptions) error {
 // gzip. It is strict: malformed input of any kind — truncation, a bad
 // magic or version, corrupt varints, stream/geometry mismatches —
 // returns an error and never panics.
+//
+// Read is a collect-all wrapper over Scanner: the streaming reader is
+// the single implementation of the format, so Read and a Scanner loop
+// agree on every input's error-vs-success verdict by construction.
+// Callers that do not need the whole trace in memory should use
+// NewScanner (or ReadWorkload) directly.
 func Read(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
-		gz, err := gzip.NewReader(br)
-		if err != nil {
-			return nil, fmt.Errorf("traceio: gzip: %w", err)
-		}
-		defer gz.Close()
-		br = bufio.NewReader(gz)
-	}
-
-	magic := make([]byte, len(formatMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("traceio: reading magic: %w", badEOF(err))
-	}
-	if string(magic) != formatMagic {
-		return nil, fmt.Errorf("traceio: bad magic %q: not a poisetrace file", printable(magic))
-	}
-	version, err := binary.ReadUvarint(br)
+	sc, err := NewScanner(r)
 	if err != nil {
-		return nil, fmt.Errorf("traceio: reading version: %w", badEOF(err))
+		return nil, err
 	}
-	if version != formatVersion {
-		return nil, fmt.Errorf("traceio: unsupported format version %d (this build reads %d)",
-			version, formatVersion)
-	}
-	hdrLen, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("traceio: reading header length: %w", badEOF(err))
-	}
-	if hdrLen > maxHeaderLen {
-		return nil, fmt.Errorf("traceio: header length %d exceeds the %d-byte limit", hdrLen, maxHeaderLen)
-	}
-	hdrJSON := make([]byte, hdrLen)
-	if _, err := io.ReadFull(br, hdrJSON); err != nil {
-		return nil, fmt.Errorf("traceio: truncated header (%d bytes expected): %w", hdrLen, badEOF(err))
-	}
-	dec := json.NewDecoder(bytes.NewReader(hdrJSON))
-	dec.DisallowUnknownFields()
-	var hdr header
-	if err := dec.Decode(&hdr); err != nil {
-		return nil, fmt.Errorf("traceio: decoding header: %w", err)
-	}
-
-	t := &Trace{Name: hdr.Workload, MemorySensitive: hdr.MemorySensitive}
-	for ki, kh := range hdr.Kernels {
+	t := &Trace{Name: sc.Name(), MemorySensitive: sc.MemorySensitive()}
+	for i := range sc.Kernels() {
+		m := &sc.Kernels()[i]
 		kt := &KernelTrace{
-			Name:             kh.Name,
-			Slots:            kh.Slots,
-			WarpsPerBlock:    kh.WarpsPerBlock,
-			Blocks:           kh.Blocks,
-			MaxWarpsPerSched: kh.MaxWarpsPerSched,
-			MaxBlocksPerSM:   kh.MaxBlocksPerSM,
-			WarpIters:        kh.WarpIters,
+			Name:             m.Name,
+			Body:             m.Body,
+			Slots:            m.Slots,
+			WarpsPerBlock:    m.WarpsPerBlock,
+			Blocks:           m.Blocks,
+			MaxWarpsPerSched: m.MaxWarpsPerSched,
+			MaxBlocksPerSM:   m.MaxBlocksPerSM,
+			WarpIters:        m.WarpIters,
 		}
-		for bi, spec := range kh.Body {
-			ins, err := spec.instr()
-			if err != nil {
-				return nil, fmt.Errorf("traceio: kernel %d body[%d]: %w", ki, bi, err)
-			}
-			kt.Body = append(kt.Body, ins)
-		}
-		if err := kt.validateGeometry(); err != nil {
-			return nil, fmt.Errorf("traceio: kernel %d (%s): %w", ki, kh.Name, err)
-		}
-		total := kt.TotalWarps()
+		total := m.TotalWarps()
 		kt.Streams = make([][][]uint64, kt.Slots)
 		for s := range kt.Streams {
 			kt.Streams[s] = make([][]uint64, total)
-			for g := 0; g < total; g++ {
-				count, err := binary.ReadUvarint(br)
-				if err != nil {
-					return nil, fmt.Errorf("traceio: kernel %d slot %d warp %d: reading stream length: %w",
-						ki, s, g, badEOF(err))
-				}
-				if count > maxStreamLen {
-					return nil, fmt.Errorf("traceio: kernel %d slot %d warp %d: stream length %d exceeds limit",
-						ki, s, g, count)
-				}
-				stream := make([]uint64, count)
-				prev := int64(0)
-				for j := range stream {
-					delta, err := binary.ReadVarint(br)
-					if err != nil {
-						return nil, fmt.Errorf("traceio: kernel %d slot %d warp %d access %d: %w",
-							ki, s, g, j, badEOF(err))
-					}
-					prev += delta
-					if prev < 0 || prev > maxLineIndex {
-						return nil, fmt.Errorf("traceio: kernel %d slot %d warp %d access %d: line index %d out of range",
-							ki, s, g, j, prev)
-					}
-					stream[j] = uint64(prev) * trace.LineBytes
-				}
-				kt.Streams[s][g] = stream
-			}
 		}
 		t.Kernels = append(t.Kernels, kt)
 	}
-
-	trailer := make([]byte, len(formatTrailer))
-	if _, err := io.ReadFull(br, trailer); err != nil {
-		return nil, fmt.Errorf("traceio: reading trailer: %w", badEOF(err))
+	for {
+		rec, ok := sc.Next()
+		if !ok {
+			break
+		}
+		stream := make([]uint64, len(rec.Addrs))
+		copy(stream, rec.Addrs)
+		t.Kernels[rec.Kernel].Streams[rec.Slot][rec.Warp] = stream
 	}
-	if string(trailer) != formatTrailer {
-		return nil, fmt.Errorf("traceio: bad trailer %q: stream corrupt or truncated", printable(trailer))
-	}
-	if _, err := br.ReadByte(); err != io.EOF {
-		return nil, errors.New("traceio: trailing garbage after trailer")
+	if err := sc.Err(); err != nil {
+		return nil, err
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err

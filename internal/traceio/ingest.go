@@ -1,0 +1,140 @@
+package traceio
+
+import (
+	"fmt"
+	"io"
+
+	"poise/internal/sim"
+	"poise/internal/trace"
+)
+
+// ReadWorkload streams a poisetrace container from r straight into a
+// runnable sim.Workload backed by flat Replay arenas, computing the
+// locality Signature in the same ingest pass. The file is decoded
+// exactly once: each per-warp record flows from the Scanner into its
+// slot's arena (one allocation per slot) as it arrives, the footprint
+// accumulates alongside, and the signature is computed from the
+// retained arenas — a whole Trace is never materialised, so peak
+// memory is the replay data itself, not the container.
+//
+// The result is equivalent to Read → Trace.Workload → Characterise:
+// the same validation (streamed inputs Read rejects, ReadWorkload
+// rejects), the same replay patterns, and a DeepEqual-identical
+// Signature — the round-trip tests pin all three. A nil opts skips
+// the characterisation scan entirely (zero Signature) for callers
+// that only want the workload.
+func ReadWorkload(r io.Reader, opts *CharacteriseOptions) (*sim.Workload, Signature, error) {
+	sc, err := NewScanner(r)
+	if err != nil {
+		return nil, Signature{}, err
+	}
+	name := sc.Name()
+	if name == "" {
+		return nil, Signature{}, fmt.Errorf("traceio: trace needs a workload name")
+	}
+	metas := sc.Kernels()
+	if len(metas) == 0 {
+		return nil, Signature{}, fmt.Errorf("traceio: trace %s has no kernels", name)
+	}
+
+	// Launch-shape checks the Scanner leaves to the caller (it validates
+	// geometry; iteration counts and body slot references are workload
+	// concerns), mirroring KernelTrace.validate.
+	kerr := func(ki int, format string, args ...any) error {
+		return fmt.Errorf("traceio: trace %s kernel %d (%s): %s",
+			name, ki, metas[ki].Name, fmt.Sprintf(format, args...))
+	}
+	used := make([][]bool, len(metas))
+	for ki := range metas {
+		m := &metas[ki]
+		total := m.TotalWarps()
+		if len(m.WarpIters) != total {
+			return nil, Signature{}, kerr(ki, "%d WarpIters entries for %d warps", len(m.WarpIters), total)
+		}
+		for g, it := range m.WarpIters {
+			if it <= 0 {
+				return nil, Signature{}, kerr(ki, "warp %d has iteration count %d, must be positive", g, it)
+			}
+		}
+		u, err := usedSlots(m.Body, m.Slots)
+		if err != nil {
+			return nil, Signature{}, kerr(ki, "%v", err)
+		}
+		used[ki] = u
+	}
+
+	// Drain the stream into one builder per (kernel, slot). Records
+	// arrive kernel-major, slot, then warp — the arena append order —
+	// so a single active builder suffices.
+	reps := make([][]*Replay, len(metas))
+	var cur *ReplayBuilder
+	curK, curSlot := -1, -1
+	seal := func() error {
+		if cur == nil {
+			return nil
+		}
+		rep, err := cur.Finish()
+		if err != nil {
+			return err
+		}
+		reps[curK] = append(reps[curK], rep)
+		cur = nil
+		return nil
+	}
+	for {
+		rec, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if rec.Kernel != curK || rec.Slot != curSlot {
+			if err := seal(); err != nil {
+				return nil, Signature{}, err
+			}
+			m := &metas[rec.Kernel]
+			cur = NewReplayBuilder(fmt.Sprintf("%s/slot%d", m.Name, rec.Slot), m.TotalWarps(), 0)
+			curK, curSlot = rec.Kernel, rec.Slot
+		}
+		if len(rec.Addrs) == 0 && used[rec.Kernel][rec.Slot] {
+			return nil, Signature{}, kerr(rec.Kernel,
+				"slot %d warp %d has an empty stream but the body references it", rec.Slot, rec.Warp)
+		}
+		cur.Warp(rec.Addrs)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, Signature{}, err
+	}
+	if err := seal(); err != nil {
+		return nil, Signature{}, err
+	}
+
+	w := &sim.Workload{Name: name, MemorySensitive: sc.MemorySensitive()}
+	views := make([]kernelView, len(metas))
+	for ki := range metas {
+		m := &metas[ki]
+		if len(reps[ki]) != m.Slots {
+			return nil, Signature{}, kerr(ki, "%d slots but %d streamed", m.Slots, len(reps[ki]))
+		}
+		pats := make([]trace.Pattern, m.Slots)
+		for s, rep := range reps[ki] {
+			pats[s] = rep
+		}
+		k, err := kernelFromMeta(m.Name, m.Body, m.WarpsPerBlock, m.Blocks,
+			m.MaxWarpsPerSched, m.MaxBlocksPerSM, m.WarpIters, m.MaxIters(), pats)
+		if err != nil {
+			return nil, Signature{}, err
+		}
+		w.Kernels = append(w.Kernels, k)
+		kreps := reps[ki]
+		views[ki] = kernelView{
+			body:       m.Body,
+			warpIters:  m.WarpIters,
+			totalWarps: m.TotalWarps(),
+			maxIters:   m.MaxIters(),
+			stream:     func(s, g int) []uint64 { return kreps[s].warpStream(g) },
+		}
+	}
+	if opts == nil {
+		return w, Signature{}, nil
+	}
+	return w, signatureOf(name, views, *opts), nil
+}

@@ -1,8 +1,11 @@
 package traceio
 
 import (
+	"bufio"
 	"bytes"
+	"compress/gzip"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -28,29 +31,88 @@ func WriteFile(path string, t *Trace) error {
 	return nil
 }
 
-// ReadFile parses one trace file. Poisetrace containers (optionally
-// gzipped) are detected by content; anything else is parsed as a
-// simplified Accel-Sim kernel trace, named after the file.
+// dispatch sniffs the stream's format, unwrapping a gzip layer if
+// present, and returns a reader positioned at the (decompressed) first
+// byte plus whether it is a poisetrace container. forceContainer pins
+// the verdict for *.ptrace paths so corrupt containers get the strict
+// parser's diagnostics instead of falling through to the accel-sim
+// text parser.
+func dispatch(br *bufio.Reader, forceContainer bool) (io.Reader, bool, error) {
+	sniff, _ := br.Peek(len(formatMagic))
+	if len(sniff) >= 2 && sniff[0] == 0x1f && sniff[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, false, fmt.Errorf("traceio: gzip: %w", err)
+		}
+		inner := bufio.NewReader(gz)
+		sniff, _ = inner.Peek(len(formatMagic))
+		return inner, forceContainer || bytes.HasPrefix(sniff, []byte(formatMagic)), nil
+	}
+	return br, forceContainer || bytes.HasPrefix(sniff, []byte(formatMagic)), nil
+}
+
+// isPtracePath reports whether the extension pins the container format.
+func isPtracePath(path string) bool {
+	return strings.HasSuffix(path, ".ptrace") || strings.HasSuffix(path, ".ptrace.gz")
+}
+
+// ReadFile parses one trace file without ever buffering it whole:
+// poisetrace containers (optionally gzipped) are detected by content
+// and streamed through the Scanner; anything else is parsed as a
+// (possibly gzipped) simplified Accel-Sim kernel trace, named after
+// the file.
 func ReadFile(path string) (*Trace, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	// A .ptrace extension always means the container format, so corrupt
-	// containers get the strict parser's diagnostics instead of falling
-	// through to the accel-sim text parser.
-	if isPoisetrace(data) || strings.HasSuffix(path, ".ptrace") || strings.HasSuffix(path, ".ptrace.gz") {
-		t, err := Read(bytes.NewReader(data))
-		if err != nil {
-			return nil, fmt.Errorf("%w (reading %s)", err, path)
-		}
-		return t, nil
+	defer f.Close()
+	rd, container, err := dispatch(bufio.NewReader(f), isPtracePath(path))
+	if err != nil {
+		return nil, fmt.Errorf("%w (reading %s)", err, path)
 	}
-	t, err := ReadAccelSim(bytes.NewReader(data), workloadNameFromPath(path))
+	var t *Trace
+	if container {
+		t, err = Read(rd)
+	} else {
+		t, err = ReadAccelSim(rd, workloadNameFromPath(path))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("%w (reading %s)", err, path)
 	}
 	return t, nil
+}
+
+// LoadWorkloadFile streams one trace file into a replayable workload:
+// poisetrace containers flow through ReadWorkload (flat arenas, no
+// whole-trace materialisation); Accel-Sim text is parsed then
+// converted.
+func LoadWorkloadFile(path string) (*sim.Workload, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rd, container, err := dispatch(bufio.NewReader(f), isPtracePath(path))
+	if err != nil {
+		return nil, fmt.Errorf("%w (reading %s)", err, path)
+	}
+	if container {
+		w, _, err := ReadWorkload(rd, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%w (reading %s)", err, path)
+		}
+		return w, nil
+	}
+	t, err := ReadAccelSim(rd, workloadNameFromPath(path))
+	if err != nil {
+		return nil, fmt.Errorf("%w (reading %s)", err, path)
+	}
+	w, err := t.Workload()
+	if err != nil {
+		return nil, fmt.Errorf("%w (from %s)", err, path)
+	}
+	return w, nil
 }
 
 // isPoisetrace sniffs the container magic, including through a gzip
@@ -69,9 +131,10 @@ func workloadNameFromPath(path string) string {
 }
 
 // LoadWorkloads loads trace-backed workloads from path: either one
-// trace file or a directory of them (files with .ptrace, .ptrace.gz or
-// .trace extensions, non-recursive, name-sorted). Each trace becomes a
-// replayable sim.Workload.
+// trace file or a directory of them (files with .ptrace, .ptrace.gz,
+// .trace or .trace.gz extensions, non-recursive, name-sorted). Each
+// trace becomes a replayable sim.Workload, streamed rather than read
+// whole.
 func LoadWorkloads(path string) ([]*sim.Workload, error) {
 	info, err := os.Stat(path)
 	if err != nil {
@@ -90,7 +153,7 @@ func LoadWorkloads(path string) ([]*sim.Workload, error) {
 			}
 			name := e.Name()
 			if strings.HasSuffix(name, ".ptrace") || strings.HasSuffix(name, ".ptrace.gz") ||
-				strings.HasSuffix(name, ".trace") {
+				strings.HasSuffix(name, ".trace") || strings.HasSuffix(name, ".trace.gz") {
 				names = append(names, name)
 			}
 		}
@@ -105,7 +168,7 @@ func LoadWorkloads(path string) ([]*sim.Workload, error) {
 			files = append(files, filepath.Join(path, name))
 		}
 		if len(files) == 0 {
-			return nil, fmt.Errorf("traceio: no trace files (*.ptrace, *.ptrace.gz, *.trace) in %s", path)
+			return nil, fmt.Errorf("traceio: no trace files (*.ptrace, *.ptrace.gz, *.trace, *.trace.gz) in %s", path)
 		}
 	} else {
 		files = []string{path}
@@ -113,18 +176,14 @@ func LoadWorkloads(path string) ([]*sim.Workload, error) {
 	var out []*sim.Workload
 	seen := map[string]string{}
 	for _, f := range files {
-		t, err := ReadFile(f)
+		w, err := LoadWorkloadFile(f)
 		if err != nil {
 			return nil, err
 		}
-		if prev, dup := seen[t.Name]; dup {
-			return nil, fmt.Errorf("traceio: workload %q appears in both %s and %s", t.Name, prev, f)
+		if prev, dup := seen[w.Name]; dup {
+			return nil, fmt.Errorf("traceio: workload %q appears in both %s and %s", w.Name, prev, f)
 		}
-		seen[t.Name] = f
-		w, err := t.Workload()
-		if err != nil {
-			return nil, fmt.Errorf("%w (from %s)", err, f)
-		}
+		seen[w.Name] = f
 		out = append(out, w)
 	}
 	return out, nil

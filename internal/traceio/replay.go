@@ -2,6 +2,7 @@ package traceio
 
 import (
 	"fmt"
+	"math"
 
 	"poise/internal/sim"
 	"poise/internal/trace"
@@ -14,6 +15,14 @@ import (
 // is the identity and catalogue seeds pass through replayed workloads
 // unchanged).
 //
+// Storage is flat: every warp's stream lives in one packed arena with
+// a per-warp offset index (offs[g]..offs[g+1] bounds warp g's
+// addresses). That is one allocation per slot instead of one per warp,
+// and the Addr hot path — the innermost call of every simulated memory
+// access — walks contiguous memory instead of chasing a pointer per
+// warp. ReplayBuilder appends warps in order, so the arena can be
+// filled directly from a Scanner without ever holding per-warp slices.
+//
 // Replay is total: a warp or sequence number beyond the recorded
 // range wraps cyclically rather than panicking. With a kernel built by
 // Trace.Workload the recorded range is never exceeded — PerWarpIters
@@ -22,52 +31,121 @@ import (
 // cyclic replay extends deterministically.
 type Replay struct {
 	name  string
-	warps [][]uint64
-	// footprint is the mean per-warp distinct-line count, precomputed
+	arena []uint64
+	// offs[g] is where warp g's stream starts in arena; len(offs) is
+	// warps+1, so offs[g+1]-offs[g] is warp g's stream length.
+	offs []uint32
+	// footprint is the mean per-warp distinct-address count, precomputed
 	// at build time so Footprint stays O(1).
 	footprint int
 }
 
-// NewReplay builds a Replay for one slot from per-warp address
-// streams (warps[g][seq] is warp g's seq-th line-aligned address).
-func NewReplay(name string, warps [][]uint64) *Replay {
-	r := &Replay{name: name, warps: warps}
-	distinct := map[uint64]struct{}{}
-	var sum, counted int
-	for _, stream := range warps {
-		if len(stream) == 0 {
-			continue
-		}
-		clear(distinct)
-		for _, a := range stream {
-			distinct[a] = struct{}{}
-		}
-		sum += len(distinct)
-		counted++
-	}
-	if counted > 0 {
-		r.footprint = (sum + counted - 1) / counted
-	}
-	return r
+// ReplayBuilder accumulates one slot's per-warp streams into a flat
+// Replay, computing the footprint in the same pass with a single
+// scratch set. Call Warp once per global warp, in warp order, then
+// Finish.
+type ReplayBuilder struct {
+	name     string
+	arena    []uint64
+	offs     []uint32
+	scratch  map[uint64]struct{}
+	sum      int // Σ per-warp distinct addresses (empty warps skipped)
+	counted  int // warps with a non-empty stream
+	overflow bool
 }
 
-// Addr implements trace.Pattern.
+// NewReplayBuilder starts a builder for one slot. If total warps and
+// total addresses are known ahead of time (the poisetrace header
+// declares both), sizing hints avoid regrowth; pass 0 when unknown.
+func NewReplayBuilder(name string, warpsHint, addrsHint int) *ReplayBuilder {
+	b := &ReplayBuilder{name: name, scratch: make(map[uint64]struct{})}
+	if warpsHint > 0 {
+		b.offs = make([]uint32, 1, warpsHint+1)
+	} else {
+		b.offs = make([]uint32, 1)
+	}
+	if addrsHint > 0 {
+		b.arena = make([]uint64, 0, addrsHint)
+	}
+	return b
+}
+
+// Warp appends the next warp's address stream. The slice is copied;
+// callers may reuse it (Scanner records do).
+func (b *ReplayBuilder) Warp(stream []uint64) {
+	b.arena = append(b.arena, stream...)
+	if len(b.arena) > math.MaxUint32 {
+		b.overflow = true
+	}
+	b.offs = append(b.offs, uint32(len(b.arena)))
+	if len(stream) == 0 {
+		return
+	}
+	clear(b.scratch)
+	for _, a := range stream {
+		b.scratch[a] = struct{}{}
+	}
+	b.sum += len(b.scratch)
+	b.counted++
+}
+
+// Finish seals the builder into a Replay.
+func (b *ReplayBuilder) Finish() (*Replay, error) {
+	if b.overflow {
+		return nil, fmt.Errorf("traceio: replay %s: %d addresses overflow the 32-bit offset index",
+			b.name, len(b.arena))
+	}
+	r := &Replay{name: b.name, arena: b.arena, offs: b.offs}
+	if b.counted > 0 {
+		r.footprint = (b.sum + b.counted - 1) / b.counted
+	}
+	return r, nil
+}
+
+// NewReplay builds a Replay for one slot from per-warp address
+// streams (warps[g][seq] is warp g's seq-th line-aligned address).
+func NewReplay(name string, warps [][]uint64) (*Replay, error) {
+	var addrs int
+	for _, stream := range warps {
+		addrs += len(stream)
+	}
+	b := NewReplayBuilder(name, len(warps), addrs)
+	for _, stream := range warps {
+		b.Warp(stream)
+	}
+	return b.Finish()
+}
+
+// numWarps returns how many warp streams the replay holds.
+func (r *Replay) numWarps() int { return len(r.offs) - 1 }
+
+// warpStream returns warp g's recorded stream as a view into the
+// arena. Callers must not mutate it.
+func (r *Replay) warpStream(g int) []uint64 {
+	return r.arena[r.offs[g]:r.offs[g+1]]
+}
+
+// Addr implements trace.Pattern. The in-range case — every access of
+// a container-built kernel — takes two folded unsigned compares and
+// two contiguous loads; the wrap arithmetic is kept off that path.
 func (r *Replay) Addr(c trace.Ctx, seq int) uint64 {
-	if len(r.warps) == 0 {
+	nw := len(r.offs) - 1
+	if nw <= 0 {
 		return 0
 	}
 	g := c.GlobalWarp
-	if g < 0 || g >= len(r.warps) {
-		g = ((g % len(r.warps)) + len(r.warps)) % len(r.warps)
+	if uint(g) >= uint(nw) {
+		g = ((g % nw) + nw) % nw
 	}
-	stream := r.warps[g]
-	if len(stream) == 0 {
-		return 0
+	lo, hi := int(r.offs[g]), int(r.offs[g+1])
+	n := hi - lo
+	if uint(seq) >= uint(n) {
+		if n == 0 {
+			return 0
+		}
+		seq = ((seq % n) + n) % n
 	}
-	if seq < 0 || seq >= len(stream) {
-		seq = ((seq % len(stream)) + len(stream)) % len(stream)
-	}
-	return stream[seq]
+	return r.arena[lo+seq]
 }
 
 // Footprint implements trace.Pattern.
@@ -90,21 +168,34 @@ func (kt *KernelTrace) Kernel() (*trace.Kernel, error) {
 	}
 	pats := make([]trace.Pattern, kt.Slots)
 	for s := range pats {
-		pats[s] = NewReplay(fmt.Sprintf("%s/slot%d", kt.Name, s), kt.Streams[s])
+		rep, err := NewReplay(fmt.Sprintf("%s/slot%d", kt.Name, s), kt.Streams[s])
+		if err != nil {
+			return nil, fmt.Errorf("traceio: kernel %s: %w", kt.Name, err)
+		}
+		pats[s] = rep
 	}
+	return kernelFromMeta(kt.Name, kt.Body, kt.WarpsPerBlock, kt.Blocks,
+		kt.MaxWarpsPerSched, kt.MaxBlocksPerSM, kt.WarpIters, kt.MaxIters(), pats)
+}
+
+// kernelFromMeta assembles and validates the trace.Kernel shared by
+// the in-memory (KernelTrace) and streaming (ReadWorkload) paths.
+func kernelFromMeta(name string, body []trace.Instr, warpsPerBlock, blocks,
+	maxWarpsPerSched, maxBlocksPerSM int, warpIters []int, iters int,
+	pats []trace.Pattern) (*trace.Kernel, error) {
 	k := &trace.Kernel{
-		Name:             kt.Name,
-		Body:             append([]trace.Instr(nil), kt.Body...),
+		Name:             name,
+		Body:             append([]trace.Instr(nil), body...),
 		Patterns:         pats,
-		Iters:            kt.MaxIters(),
-		PerWarpIters:     append([]int(nil), kt.WarpIters...),
-		WarpsPerBlock:    kt.WarpsPerBlock,
-		Blocks:           kt.Blocks,
-		MaxWarpsPerSched: kt.MaxWarpsPerSched,
-		MaxBlocksPerSM:   kt.MaxBlocksPerSM,
+		Iters:            iters,
+		PerWarpIters:     append([]int(nil), warpIters...),
+		WarpsPerBlock:    warpsPerBlock,
+		Blocks:           blocks,
+		MaxWarpsPerSched: maxWarpsPerSched,
+		MaxBlocksPerSM:   maxBlocksPerSM,
 	}
 	if err := k.Validate(); err != nil {
-		return nil, fmt.Errorf("traceio: kernel %s: %w", kt.Name, err)
+		return nil, fmt.Errorf("traceio: kernel %s: %w", name, err)
 	}
 	return k, nil
 }

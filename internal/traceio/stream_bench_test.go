@@ -1,0 +1,177 @@
+package traceio
+
+import (
+	"bytes"
+	"testing"
+
+	"poise/internal/trace"
+)
+
+// benchContainer serialises the synthetic benchmark trace once: one
+// kernel, 2048 warps × 64 addresses.
+func benchContainer(b *testing.B) []byte {
+	b.Helper()
+	tr := syntheticTrace(b, 8, 256, 64)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, WriteOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkReadStream drains a Scanner without retaining records — the
+// bounded-memory ingest path's decode cost.
+func BenchmarkReadStream(b *testing.B) {
+	data := benchContainer(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc, err := NewScanner(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, ok := sc.Next(); !ok {
+				break
+			}
+		}
+		if err := sc.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadWhole materialises the full Trace for comparison — the
+// collect-all wrapper's cost over the same bytes.
+func BenchmarkReadWhole(b *testing.B) {
+	data := benchContainer(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchRecords builds the per-warp streams the replay construction
+// benchmarks consume: 2048 warps × 64 addresses with per-warp overlap.
+func benchRecords() [][]uint64 {
+	records := make([][]uint64, 2048)
+	for g := range records {
+		stream := make([]uint64, 64)
+		for j := range stream {
+			stream[j] = uint64((g*7+j)%4096) * trace.LineBytes
+		}
+		records[g] = stream
+	}
+	return records
+}
+
+// nestedReplay is the pre-flat slice-of-slices layout, kept as the
+// benchmark baseline: one retained slice per warp, footprint from the
+// same clear-per-warp scratch set.
+type nestedReplay struct {
+	warps     [][]uint64
+	footprint int
+}
+
+func newNestedReplay(records [][]uint64) *nestedReplay {
+	r := &nestedReplay{warps: make([][]uint64, len(records))}
+	distinct := map[uint64]struct{}{}
+	var sum, counted int
+	for g, stream := range records {
+		// The streaming source yields a reused buffer, so retaining the
+		// nested layout forces one copy (and one allocation) per warp.
+		r.warps[g] = append([]uint64(nil), stream...)
+		if len(stream) == 0 {
+			continue
+		}
+		clear(distinct)
+		for _, a := range stream {
+			distinct[a] = struct{}{}
+		}
+		sum += len(distinct)
+		counted++
+	}
+	if counted > 0 {
+		r.footprint = (sum + counted - 1) / counted
+	}
+	return r
+}
+
+func (r *nestedReplay) addr(c trace.Ctx, seq int) uint64 {
+	if len(r.warps) == 0 {
+		return 0
+	}
+	g := c.GlobalWarp
+	if g < 0 || g >= len(r.warps) {
+		g = ((g % len(r.warps)) + len(r.warps)) % len(r.warps)
+	}
+	stream := r.warps[g]
+	if len(stream) == 0 {
+		return 0
+	}
+	if seq < 0 || seq >= len(stream) {
+		seq = ((seq % len(stream)) + len(stream)) % len(stream)
+	}
+	return stream[seq]
+}
+
+// BenchmarkReplayFlat measures building one slot's flat replay from
+// streamed records: one arena + one offset index however many warps.
+func BenchmarkReplayFlat(b *testing.B) {
+	records := benchRecords()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var addrs int
+		for _, stream := range records {
+			addrs += len(stream)
+		}
+		builder := NewReplayBuilder("bench", len(records), addrs)
+		for _, stream := range records {
+			builder.Warp(stream)
+		}
+		if _, err := builder.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplayNested is the slice-of-slices baseline for the same
+// construction: one retained allocation per warp.
+func BenchmarkReplayNested(b *testing.B) {
+	records := benchRecords()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = newNestedReplay(records)
+	}
+}
+
+// BenchmarkReplayFlatAddr exercises the replay hot path — the address
+// lookup behind every simulated memory access — on the flat arena.
+func BenchmarkReplayFlatAddr(b *testing.B) {
+	rep, err := NewReplay("bench", benchRecords())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += rep.Addr(trace.Ctx{GlobalWarp: i & 2047}, i&63)
+	}
+	benchSink = sink
+}
+
+// BenchmarkReplayNestedAddr is the pointer-chasing baseline lookup.
+func BenchmarkReplayNestedAddr(b *testing.B) {
+	rep := newNestedReplay(benchRecords())
+	b.ReportAllocs()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += rep.addr(trace.Ctx{GlobalWarp: i & 2047}, i&63)
+	}
+	benchSink = sink
+}
+
+var benchSink uint64

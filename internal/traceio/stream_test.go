@@ -1,0 +1,355 @@
+package traceio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"poise/internal/config"
+	"poise/internal/sim"
+	"poise/internal/trace"
+	"poise/internal/workloads"
+)
+
+// collectScanner rebuilds a whole Trace by draining a Scanner — an
+// independent re-implementation of Read's collect-all loop, so the
+// equivalence tests compare two genuinely separate paths rather than
+// Read against itself.
+func collectScanner(data []byte) (*Trace, error) {
+	sc, err := NewScanner(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Name: sc.Name(), MemorySensitive: sc.MemorySensitive()}
+	for _, m := range sc.Kernels() {
+		kt := &KernelTrace{
+			Name:             m.Name,
+			Body:             m.Body,
+			Slots:            m.Slots,
+			WarpsPerBlock:    m.WarpsPerBlock,
+			Blocks:           m.Blocks,
+			MaxWarpsPerSched: m.MaxWarpsPerSched,
+			MaxBlocksPerSM:   m.MaxBlocksPerSM,
+			WarpIters:        m.WarpIters,
+			Streams:          make([][][]uint64, m.Slots),
+		}
+		for s := range kt.Streams {
+			kt.Streams[s] = make([][]uint64, m.TotalWarps())
+		}
+		t.Kernels = append(t.Kernels, kt)
+	}
+	for {
+		rec, ok := sc.Next()
+		if !ok {
+			break
+		}
+		stream := make([]uint64, len(rec.Addrs))
+		copy(stream, rec.Addrs)
+		t.Kernels[rec.Kernel].Streams[rec.Slot][rec.Warp] = stream
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// TestScannerMatchesReadOnFixtures pins the streaming contract on every
+// committed testdata fixture: Read and collect(Scanner) must agree on
+// the error-vs-success verdict, and on success produce DeepEqual
+// traces. Non-container fixtures (the Accel-Sim text dumps) are
+// rejected identically by both paths.
+func TestScannerMatchesReadOnFixtures(t *testing.T) {
+	fixtures, err := filepath.Glob("testdata/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) == 0 {
+		t.Fatal("no testdata fixtures")
+	}
+	for _, path := range fixtures {
+		if fi, err := os.Stat(path); err != nil || fi.IsDir() {
+			continue
+		}
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			whole, readErr := Read(bytes.NewReader(data))
+			streamed, scanErr := collectScanner(data)
+			if (readErr == nil) != (scanErr == nil) {
+				t.Fatalf("verdicts diverge: Read err=%v, Scanner err=%v", readErr, scanErr)
+			}
+			if readErr != nil {
+				if readErr.Error() != scanErr.Error() {
+					t.Fatalf("error texts diverge:\nRead:    %v\nScanner: %v", readErr, scanErr)
+				}
+				return
+			}
+			if !reflect.DeepEqual(whole, streamed) {
+				t.Fatalf("collect(Scanner) differs from Read on %s", path)
+			}
+		})
+	}
+}
+
+// TestScannerMatchesReadRecorded covers the shapes the committed
+// fixtures cannot: a freshly recorded multi-kernel workload with
+// jittered per-warp iteration counts, through both the plain and
+// gzipped container encodings.
+func TestScannerMatchesReadRecorded(t *testing.T) {
+	tr := mustRecord(t, miniWorkload())
+	for _, gz := range []bool{false, true} {
+		var buf bytes.Buffer
+		if err := Write(&buf, tr, WriteOptions{Gzip: gz}); err != nil {
+			t.Fatal(err)
+		}
+		whole, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamed, err := collectScanner(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(whole, streamed) {
+			t.Fatalf("collect(Scanner) differs from Read (gzip=%v)", gz)
+		}
+	}
+}
+
+// TestReadWorkloadMatchesReadPath is the stream-replay guarantee on
+// real catalogue workloads: ReadWorkload's flat-arena workload and
+// single-pass Signature must be DeepEqual to the materialise-then-
+// convert path (Read → Workload → Characterise). Two catalogue
+// workloads cover the deterministic sweeps (ii) and the stochastic
+// irregular patterns with iteration jitter (bfs).
+func TestReadWorkloadMatchesReadPath(t *testing.T) {
+	cat := workloads.NewCatalogue(workloads.Small)
+	names := []string{"ii", "bfs"}
+	if raceEnabled {
+		names = []string{"ii"}
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			w := cat.Must(name)
+			if raceEnabled {
+				w = &sim.Workload{Name: w.Name, Kernels: w.Kernels[:1],
+					MemorySensitive: w.MemorySensitive}
+			}
+			tr := mustRecord(t, w)
+			var buf bytes.Buffer
+			if err := Write(&buf, tr, WriteOptions{Gzip: true}); err != nil {
+				t.Fatal(err)
+			}
+
+			parsed, err := Read(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantW, err := parsed.Workload()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSig := Characterise(parsed, CharacteriseOptions{})
+
+			gotW, gotSig, err := ReadWorkload(bytes.NewReader(buf.Bytes()), &CharacteriseOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(wantW, gotW) {
+				t.Fatalf("streamed workload differs from Read path")
+			}
+			if !reflect.DeepEqual(wantSig, gotSig) {
+				t.Fatalf("streamed signature differs:\nRead path: %+v\nstreamed:  %+v", wantSig, gotSig)
+			}
+		})
+	}
+}
+
+// TestStreamReplayBitIdentical closes the loop through the simulator:
+// a workload ingested by ReadWorkload must replay to exactly the live
+// run's metrics, like the Read-path replay does.
+func TestStreamReplayBitIdentical(t *testing.T) {
+	cfg := config.Default().Scale(1)
+	w := miniWorkload()
+	live, err := sim.RunWorkload(cfg, w, sim.GTO{}, sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, mustRecord(t, w), WriteOptions{Gzip: true}); err != nil {
+		t.Fatal(err)
+	}
+	replayW, _, err := ReadWorkload(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := sim.RunWorkload(cfg, replayW, sim.GTO{}, sim.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(live, replayed) {
+		t.Fatalf("streamed replay differs from live run:\nlive:     %+v\nreplayed: %+v",
+			summary(live), summary(replayed))
+	}
+}
+
+// TestReplayBuilderFootprint is the white-box pin for the single-pass
+// footprint: the builder's one reused scratch set must produce exactly
+// the reference computation's result — a fresh distinct-set per warp,
+// empty streams skipped, ceil-mean over counted warps — on streams
+// with duplicates within warps, repeats across warps, and empty gaps.
+func TestReplayBuilderFootprint(t *testing.T) {
+	line := func(i int) uint64 { return uint64(i) * trace.LineBytes }
+	cases := [][][]uint64{
+		{},
+		{{}},
+		{{line(1), line(1), line(2)}},
+		{{line(1), line(2)}, {}, {line(1), line(2), line(3), line(3)}},
+		{{line(7)}, {line(7)}, {line(7)}, {}},
+		{{line(1), line(2), line(3)}, {line(4)}, {line(5), line(5)}},
+	}
+	for i, warps := range cases {
+		rep, err := NewReplay("w", warps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum, counted int
+		for _, stream := range warps {
+			if len(stream) == 0 {
+				continue
+			}
+			distinct := map[uint64]struct{}{}
+			for _, a := range stream {
+				distinct[a] = struct{}{}
+			}
+			sum += len(distinct)
+			counted++
+		}
+		want := 0
+		if counted > 0 {
+			want = (sum + counted - 1) / counted
+		}
+		if rep.Footprint() != want {
+			t.Errorf("case %d: builder footprint %d, reference %d", i, rep.Footprint(), want)
+		}
+	}
+}
+
+// syntheticTrace builds a single-kernel container with warps×iters
+// line-aligned addresses — a controlled record count for the alloc
+// bound and the benchmarks.
+func syntheticTrace(t testing.TB, warpsPerBlock, blocks, iters int) *Trace {
+	t.Helper()
+	b := &trace.BodyBuilder{}
+	b.Load(1)
+	b.ALU(2)
+	total := warpsPerBlock * blocks
+	kt := &KernelTrace{
+		Name:          "synth#0",
+		Body:          b.Body(),
+		Slots:         1,
+		WarpsPerBlock: warpsPerBlock,
+		Blocks:        blocks,
+		WarpIters:     make([]int, total),
+		Streams:       [][][]uint64{make([][]uint64, total)},
+	}
+	for g := 0; g < total; g++ {
+		kt.WarpIters[g] = iters
+		stream := make([]uint64, iters)
+		for j := range stream {
+			stream[j] = uint64((g*7+j)%4096) * trace.LineBytes
+		}
+		kt.Streams[0][g] = stream
+	}
+	tr := &Trace{Name: "synth", MemorySensitive: true, Kernels: []*KernelTrace{kt}}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestScannerAllocsBounded asserts the streaming contract that matters
+// for huge traces: draining a container allocates O(header + largest
+// record), not O(records). The synthetic trace below carries 2048
+// per-warp records; a scan that allocated per record would show up
+// three orders of magnitude over the bound.
+func TestScannerAllocsBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc accounting is not meaningful under -race")
+	}
+	tr := syntheticTrace(t, 8, 256, 16)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	records := 0
+	allocs := testing.AllocsPerRun(5, func() {
+		sc, err := NewScanner(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		records = 0
+		for {
+			_, ok := sc.Next()
+			if !ok {
+				break
+			}
+			records++
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if want := 8 * 256; records != want {
+		t.Fatalf("scanned %d records, want %d", records, want)
+	}
+	if allocs > 100 {
+		t.Fatalf("scan of %d records allocated %.0f times; streaming must stay O(records-in-flight)",
+			records, allocs)
+	}
+}
+
+// FuzzScanner fuzzes the streaming reader against the whole-trace
+// reader: on arbitrary bytes — truncations mid-record, corrupt
+// varints, geometry the streams cannot satisfy — neither path may
+// panic, both must reach the same error-vs-success verdict, and on
+// success the collected trace must be DeepEqual to Read's. The seed
+// corpus in testdata/fuzz/FuzzScanner adds committed regressions:
+// a valid container, plain and gzipped, systematic truncations, a
+// flipped stream byte, and an Accel-Sim per-lane mask dump (which the
+// container readers must cleanly reject as foreign).
+func FuzzScanner(f *testing.F) {
+	tr, err := Record(miniWorkload())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var plain, gz bytes.Buffer
+	if err := Write(&plain, tr, WriteOptions{}); err != nil {
+		f.Fatal(err)
+	}
+	if err := Write(&gz, tr, WriteOptions{Gzip: true}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(plain.Bytes())
+	f.Add(gz.Bytes())
+	f.Add(plain.Bytes()[:len(plain.Bytes())/2])
+	f.Add(plain.Bytes()[:len(plain.Bytes())-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		whole, readErr := Read(bytes.NewReader(data))
+		streamed, scanErr := collectScanner(data)
+		if (readErr == nil) != (scanErr == nil) {
+			t.Fatalf("verdicts diverge: Read err=%v, Scanner err=%v", readErr, scanErr)
+		}
+		if readErr == nil && !reflect.DeepEqual(whole, streamed) {
+			t.Fatal("collect(Scanner) differs from Read on fuzzed input")
+		}
+	})
+}

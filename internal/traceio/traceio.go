@@ -135,6 +135,30 @@ func (kt *KernelTrace) validateGeometry() error {
 	return nil
 }
 
+// usedSlots validates the body's slot references and returns which
+// slots memory instructions touch. Shared between the whole-trace
+// validator and the streaming ingest (which must reject a referenced
+// slot's empty stream as it flows past, without a Trace to validate).
+func usedSlots(body []trace.Instr, slots int) ([]bool, error) {
+	used := make([]bool, slots)
+	for i, ins := range body {
+		switch ins.Kind {
+		case trace.OpALU:
+		case trace.OpLoad, trace.OpStore:
+			if ins.Slot < 0 || ins.Slot >= slots {
+				return nil, fmt.Errorf("body[%d] references slot %d of %d", i, ins.Slot, slots)
+			}
+			if ins.Kind == trace.OpLoad && ins.UseDist < 0 {
+				return nil, fmt.Errorf("body[%d] negative UseDist", i)
+			}
+			used[ins.Slot] = true
+		default:
+			return nil, fmt.Errorf("body[%d] unknown op kind %d", i, ins.Kind)
+		}
+	}
+	return used, nil
+}
+
 func (kt *KernelTrace) validate() error {
 	if err := kt.validateGeometry(); err != nil {
 		return err
@@ -151,21 +175,9 @@ func (kt *KernelTrace) validate() error {
 			return fmt.Errorf("warp %d has iteration count %d, must be positive", g, it)
 		}
 	}
-	used := make([]bool, kt.Slots)
-	for i, ins := range kt.Body {
-		switch ins.Kind {
-		case trace.OpALU:
-		case trace.OpLoad, trace.OpStore:
-			if ins.Slot < 0 || ins.Slot >= kt.Slots {
-				return fmt.Errorf("body[%d] references slot %d of %d", i, ins.Slot, kt.Slots)
-			}
-			if ins.Kind == trace.OpLoad && ins.UseDist < 0 {
-				return fmt.Errorf("body[%d] negative UseDist", i)
-			}
-			used[ins.Slot] = true
-		default:
-			return fmt.Errorf("body[%d] unknown op kind %d", i, ins.Kind)
-		}
+	used, err := usedSlots(kt.Body, kt.Slots)
+	if err != nil {
+		return err
 	}
 	for s, streams := range kt.Streams {
 		if len(streams) != total {
