@@ -99,6 +99,7 @@ func main() {
 		cacheDir = flag.String("cache", ".poise-cache", "profile cache directory ('' disables)")
 		seeds    = flag.Int("seeds", 3, "random-restart seeds (paper uses 20)")
 		prune    = flag.Bool("prune", false, "adaptive coarse-to-fine profile sweeps: simulate a fraction of each {N,p} grid while selecting the same Static-Best/SWL/scored tuples (with -emit-plan/-shard/-merge-shards and -run all, drives the sweep campaign in refinement rounds)")
+		snapDir  = flag.String("snapshot-dir", "", "kernel-boundary snapshot directory: experiment-grid cells whose schemes share a tuple prefix resume at the first divergent kernel instead of re-simulating it (warm start; results are bit-identical either way, and a stats line reports the simulated cycles saved; '' = off)")
 		parallel = flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential); results are identical at any setting")
 		seed     = flag.Int64("seed", 0, "experiment seed (perturbs workload jitter and random-restart; 0 = canonical)")
 		listExp  = flag.Bool("listexp", false, "list experiments and exit")
@@ -172,6 +173,7 @@ func main() {
 		Ctx:            ctx,
 		ExtraWorkloads: extra,
 		Prune:          *prune,
+		SnapshotDir:    *snapDir,
 	}
 	if *shardStr != "" {
 		i, n, err := gridplan.ParseShard(*shardStr)
@@ -229,6 +231,11 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "poisebench: no experiment matched %q (see -listexp)\n", *run)
 		os.Exit(1)
+	}
+	if pc := h.PrefixCache(); pc != nil {
+		// CI's warm-start step asserts cycles-saved > 0 on this line.
+		fmt.Printf("\nprefix cache: %d hits, %d misses, %d kernels skipped, %d simulated cycles saved\n",
+			pc.Hits.Load(), pc.Misses.Load(), pc.KernelsSkipped.Load(), pc.CyclesSaved.Load())
 	}
 }
 

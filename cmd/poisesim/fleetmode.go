@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"time"
@@ -115,10 +116,7 @@ func runFleetMode(a sweepModeArgs, f fleetFlags) {
 	if err := validateFleetFlags(f); err != nil {
 		fatal(err)
 	}
-	opts := profile.SweepOptions{StepN: a.stepN, StepP: a.stepP, Workers: a.workers, Ctx: a.ctx}
-	if a.prune {
-		opts.Refine = &profile.RefineOptions{}
-	}
+	opts := a.sweepOptions()
 	tag := profile.SweepTag(a.cfg, opts)
 	if a.seed != 0 {
 		tag = fmt.Sprintf("%s-seed%d", tag, a.seed)
@@ -244,10 +242,18 @@ func runFleetWorker(a sweepModeArgs, f fleetFlags, opts profile.SweepOptions) {
 	}
 	// -die-after and -task-delay are the CI chaos hooks: the fleet
 	// round-trip kills one worker mid-lease and slows another until
-	// stealing fires, then byte-diffs the merged output anyway.
+	// stealing fires, then byte-diffs the merged output anyway. With
+	// -snapshot-dir the death is checkpointed: the hook fires the
+	// interrupt control, so the next task stops at a safe point, writes
+	// its checkpoint to the shared store, and the lease lapses for
+	// another worker to resume the task bit-identically.
 	if f.dieAfter > 0 || f.taskDelay > 0 {
 		w.BeforeTask = func(done int) error {
 			if f.dieAfter > 0 && done >= f.dieAfter {
+				if a.ictl != nil {
+					a.ictl.Trigger()
+					return nil
+				}
 				return fmt.Errorf("worker dying after %d tasks (-die-after)", done)
 			}
 			if f.taskDelay > 0 {
@@ -261,6 +267,13 @@ func runFleetWorker(a sweepModeArgs, f fleetFlags, opts profile.SweepOptions) {
 		}
 	}
 	if err := w.Run(a.ctx); err != nil {
+		if errors.Is(err, sim.ErrInterrupted) {
+			// Preemption is a clean exit: the in-flight task is
+			// checkpointed in -snapshot-dir and any worker pointed there
+			// picks it up once the lease lapses.
+			fmt.Printf("worker %s: preempted; checkpoint saved under %s\n", name, a.snapDir)
+			return
+		}
 		fatal(err)
 	}
 	fmt.Printf("worker %s: campaign complete\n", name)

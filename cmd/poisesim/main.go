@@ -94,6 +94,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -109,6 +110,7 @@ import (
 	"poise/internal/profiling"
 	"poise/internal/runner"
 	"poise/internal/sim"
+	"poise/internal/snap"
 	"poise/internal/traceio"
 	"poise/internal/workloads"
 )
@@ -152,8 +154,15 @@ func main() {
 		workerURL = flag.String("worker", "", "run a fleet worker pulling task leases from the coordinator at this base URL (e.g. http://host:9444)")
 		leaseN    = flag.Int("lease-tasks", 0, "-serve: tasks per lease batch (0 = default)")
 		leaseTTL  = flag.Duration("lease-ttl", 0, "-serve: lease expiry deadline, renewed on each completed task (0 = default)")
-		dieAfter  = flag.Int("die-after", 0, "-worker: exit mid-lease after completing this many tasks (chaos/CI hook; 0 = never)")
+		dieAfter  = flag.Int("die-after", 0, "-worker: exit mid-lease after completing this many tasks (chaos/CI hook; with -snapshot-dir the death is checkpointed so another worker resumes it; 0 = never)")
 		taskDelay = flag.Duration("task-delay", 0, "-worker: sleep this long before each task (chaos/CI hook to provoke stealing)")
+
+		// Mid-run snapshots (package snap): checkpoint preempted runs
+		// (SIGTERM, -ckpt-at-cycle, checkpointed -die-after) so a later
+		// process resumes them bit-identically instead of restarting.
+		snapDir = flag.String("snapshot-dir", "", "snapshot directory: preempted runs/sweep tasks checkpoint here and resume from here; in worker and shard modes it is probed automatically, so any process pointed at the same directory continues the work ('' = off)")
+		resumeR = flag.Bool("resume", false, "resume workload runs from checkpoints in -snapshot-dir (writes still require only -snapshot-dir; results are bit-identical to an uninterrupted run)")
+		ckptAt  = flag.Int64("ckpt-at-cycle", 0, "deterministically preempt + checkpoint each in-flight run at this simulated cycle (CI/chaos hook; needs -snapshot-dir)")
 
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -245,6 +254,29 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// -snapshot-dir arms the preemption path: SIGTERM (or the
+	// deterministic -ckpt-at-cycle hook) interrupts in-flight
+	// simulations at a safe point and checkpoints them to the store, so
+	// a later process — this machine or another pointed at the same
+	// directory — resumes bit-identically instead of restarting.
+	var (
+		ckpts *snap.Store
+		ictl  *sim.InterruptCtl
+	)
+	if *snapDir != "" {
+		st, err := snap.NewStore(*snapDir)
+		if err != nil {
+			fatal(err)
+		}
+		ckpts = st
+		ictl = &sim.InterruptCtl{AtCycle: *ckptAt}
+		go func() { <-ctx.Done(); ictl.Trigger() }()
+	} else if *ckptAt > 0 {
+		fatal(fmt.Errorf("-ckpt-at-cycle needs -snapshot-dir for the checkpoint"))
+	} else if *resumeR {
+		fatal(fmt.Errorf("-resume needs -snapshot-dir to resume from"))
+	}
+
 	if *serveAddr != "" || *workerURL != "" {
 		runFleetMode(sweepModeArgs{
 			cfg: cfg, cat: cat, selected: ws, ctx: ctx,
@@ -252,6 +284,7 @@ func main() {
 			sms: *sms, size: parseSize(*size),
 			cacheDir: *cacheDir, seeds: *seeds, extra: extra,
 			stepN: *stepN, stepP: *stepP, workers: *parallel, seed: *seed,
+			snapDir: *snapDir, ckpts: ckpts, ictl: ictl,
 		}, fleetFlags{
 			serve: *serveAddr, worker: *workerURL,
 			leaseTasks: *leaseN, leaseTTL: *leaseTTL,
@@ -274,6 +307,7 @@ func main() {
 			sms: *sms, size: parseSize(*size),
 			cacheDir: *cacheDir, seeds: *seeds, extra: extra,
 			stepN: *stepN, stepP: *stepP, workers: *parallel, seed: *seed,
+			snapDir: *snapDir, ckpts: ckpts, ictl: ictl,
 		})
 		return
 	}
@@ -302,6 +336,48 @@ func main() {
 		fatal(err)
 	}
 
+	// runKey names a run's checkpoint in -snapshot-dir by everything
+	// that shapes its state, so a resume can never splice checkpoints
+	// across configurations.
+	runKey := func(w *sim.Workload) string {
+		return fmt.Sprintf("poisesim|%s|%s|%s|sms%d|l1x%d|seed%d|n%d|p%d",
+			w.Name, *policy, *size, *sms, *l1x, *seed, *n, *p)
+	}
+	runWorkload := func(i int, w *sim.Workload) (sim.WorkloadResult, error) {
+		pol, err := newPolicy(i)
+		if err != nil {
+			return sim.WorkloadResult{}, err
+		}
+		if ckpts == nil {
+			return sim.RunWorkload(cfg, w, pol, sim.RunOptions{})
+		}
+		ro := sim.RunOptions{Interrupt: ictl}
+		key := runKey(w)
+		var (
+			res sim.WorkloadResult
+			cp  *sim.Checkpoint
+		)
+		if sn, lerr := ckpts.Load(key); *resumeR && lerr == nil {
+			prev, derr := sim.CheckpointFromSnapshot(sn)
+			if derr != nil {
+				return res, fmt.Errorf("checkpoint %s: %w", key, derr)
+			}
+			res, cp, err = sim.ResumeWorkload(cfg, w, pol, ro, prev)
+		} else {
+			res, cp, err = sim.RunWorkloadPreemptible(cfg, w, pol, ro)
+		}
+		if err == nil {
+			_ = ckpts.Delete(key) // consumed (best effort; a stale probe only costs a read)
+			return res, nil
+		}
+		if errors.Is(err, sim.ErrInterrupted) && cp != nil {
+			if serr := ckpts.Save(cp.Snapshot(key)); serr != nil {
+				return res, serr
+			}
+		}
+		return res, err
+	}
+
 	type run struct {
 		res     sim.WorkloadResult
 		elapsed time.Duration
@@ -309,18 +385,19 @@ func main() {
 	start := time.Now()
 	results, err := runner.MapSlice(ctx, *parallel, ws,
 		func(_ context.Context, i int, w *sim.Workload) (run, error) {
-			pol, err := newPolicy(i)
-			if err != nil {
-				return run{}, err
-			}
 			t0 := time.Now()
-			res, err := sim.RunWorkload(cfg, w, pol, sim.RunOptions{})
+			res, err := runWorkload(i, w)
 			if err != nil {
 				return run{}, err
 			}
 			return run{res: res, elapsed: time.Since(t0)}, nil
 		})
 	if err != nil {
+		if ckpts != nil && (errors.Is(err, sim.ErrInterrupted) || errors.Is(err, context.Canceled)) {
+			fmt.Printf("preempted: checkpoints saved under %s; rerun with -snapshot-dir %s -resume to continue\n",
+				*snapDir, *snapDir)
+			return
+		}
 		fatal(err)
 	}
 	wall := time.Since(start)

@@ -10,6 +10,7 @@ import (
 	"poise/internal/profile"
 	"poise/internal/results"
 	"poise/internal/sim"
+	"poise/internal/snap"
 	"poise/internal/trace"
 	"poise/internal/workloads"
 )
@@ -60,6 +61,26 @@ type sweepModeArgs struct {
 	stepN, stepP int
 	workers      int
 	seed         int64
+
+	// Mid-run snapshot wiring (-snapshot-dir / -ckpt-at-cycle):
+	// preempted tasks checkpoint into ckpts and later runs pointed at
+	// the same directory resume them; cell-plan shards additionally use
+	// the directory as the kernel-boundary prefix cache.
+	snapDir string
+	ckpts   *snap.Store
+	ictl    *sim.InterruptCtl
+}
+
+// sweepOptions derives the profile.SweepOptions every mode shares,
+// including the preemption wiring when -snapshot-dir is set.
+func (a sweepModeArgs) sweepOptions() profile.SweepOptions {
+	opts := profile.SweepOptions{StepN: a.stepN, StepP: a.stepP, Workers: a.workers, Ctx: a.ctx}
+	if a.prune {
+		opts.Refine = &profile.RefineOptions{}
+	}
+	opts.Interrupt = a.ictl
+	opts.Checkpoints = a.ckpts
+	return opts
 }
 
 // harness builds the experiment harness a cell plan's shard runs on,
@@ -78,6 +99,7 @@ func (a sweepModeArgs) harness() *experiments.Harness {
 		Workers: a.workers, Ctx: a.ctx,
 		ExtraWorkloads: a.extra,
 		Prune:          a.prune,
+		SnapshotDir:    a.snapDir,
 	})
 }
 
@@ -129,13 +151,10 @@ func runSweepMode(a sweepModeArgs) {
 	if err := validateSweepFlags(a); err != nil {
 		fatal(err)
 	}
-	opts := profile.SweepOptions{StepN: a.stepN, StepP: a.stepP, Workers: a.workers, Ctx: a.ctx}
-	if a.prune {
-		// Default refinement parameters; folding them into the tag
-		// keeps pruned and exhaustive campaigns from sharing cache
-		// entries or round files.
-		opts.Refine = &profile.RefineOptions{}
-	}
+	// Default refinement parameters under -prune; folding them into the
+	// tag keeps pruned and exhaustive campaigns from sharing cache
+	// entries or round files.
+	opts := a.sweepOptions()
 	// The tag keys profiles by everything that changes them: the scaled
 	// configuration, the grid resolution, the pruning mode, and the
 	// catalogue seed (the kernels' stochastic streams). All processes

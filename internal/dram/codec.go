@@ -1,0 +1,36 @@
+package dram
+
+import (
+	"fmt"
+
+	"poise/internal/snap"
+)
+
+// EncodeState serialises the DRAM model's mutable state (partition
+// next-free cycles and statistics); timings come from the
+// configuration.
+func (d *DRAM) EncodeState(w *snap.Writer) {
+	w.Uvarint(uint64(len(d.partitions)))
+	for _, p := range d.partitions {
+		w.Varint(p)
+	}
+	w.Varint(d.Accesses)
+	w.Varint(d.QueueDelay)
+	w.Varint(d.BusyCycles)
+}
+
+// DecodeState restores state written by EncodeState onto a DRAM model
+// with the same partition count.
+func (d *DRAM) DecodeState(r *snap.Reader) error {
+	n := r.Uvarint()
+	if r.Err() == nil && n != uint64(len(d.partitions)) {
+		return fmt.Errorf("dram: snapshot has %d partitions, model has %d", n, len(d.partitions))
+	}
+	for i := range d.partitions {
+		d.partitions[i] = r.Varint()
+	}
+	d.Accesses = r.Varint()
+	d.QueueDelay = r.Varint()
+	d.BusyCycles = r.Varint()
+	return r.Err()
+}

@@ -177,7 +177,7 @@ func (h *Harness) runCellOn(pools *sim.PoolSet, cfg config.Config, wl *sim.Workl
 	if err != nil {
 		return results.CellResult{}, err
 	}
-	res, err := g.RunWorkload(wl, pol, sim.RunOptions{})
+	res, err := g.RunWorkloadCached(wl, pol, sim.RunOptions{}, h.prefix)
 	pools.Put(cfg, g)
 	if err != nil {
 		return results.CellResult{}, err

@@ -79,6 +79,13 @@ type Options struct {
 	// Meant for tests and quick interactive runs.
 	EvalSubset []string
 
+	// SnapshotDir enables the content-addressed kernel-boundary prefix
+	// cache for grid cells ("" = off): cells whose policy pins a
+	// predictable tuple sequence (GTO, SWL, Static-Best, Fixed) restore
+	// the deepest shared-prefix snapshot instead of re-simulating those
+	// kernels. Results are bit-identical with or without it.
+	SnapshotDir string
+
 	// ExtraWorkloads registers additional workloads — typically
 	// trace-backed ones from package traceio — in the catalogue. A name
 	// colliding with a synthetic workload shadows it (the record/replay
@@ -142,6 +149,7 @@ type Harness struct {
 	cells   runner.Cache[string, []results.CellResult]
 	ablated runner.Cache[int, poise.Weights]
 	pools   *sim.PoolSet
+	prefix  *sim.PrefixCache
 
 	// extraKernels maps each ExtraWorkloads kernel name to its
 	// workload's content digest, so only those kernels' profile-cache
@@ -162,7 +170,7 @@ func NewHarness(opt Options) *Harness {
 			extraKernels[k.Name] = d
 		}
 	}
-	return &Harness{
+	h := &Harness{
 		Opt:          opt,
 		Cfg:          config.Default().Scale(opt.SMs),
 		Params:       config.DefaultPoise(),
@@ -172,7 +180,17 @@ func NewHarness(opt Options) *Harness {
 		pools:        sim.NewPoolSet(),
 		extraKernels: extraKernels,
 	}
+	if opt.SnapshotDir != "" {
+		// An unopenable snapshot directory only disables warm starts;
+		// every cell still simulates correctly without the cache.
+		h.prefix, _ = sim.NewPrefixCache(opt.SnapshotDir)
+	}
+	return h
 }
+
+// PrefixCache returns the harness's kernel-boundary prefix cache (nil
+// when Options.SnapshotDir is unset).
+func (h *Harness) PrefixCache() *sim.PrefixCache { return h.prefix }
 
 // ctx returns the harness's cancellation context.
 func (h *Harness) ctx() context.Context {

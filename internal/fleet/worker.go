@@ -5,11 +5,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"time"
+
+	"poise/internal/sim"
 )
 
 // An Executor turns a fetched plan into a Batch that can run its
@@ -180,6 +183,15 @@ func (w *Worker) runLease(ctx context.Context, gen int, batch Batch, rep leaseRe
 		}
 		results, runErr := batchRun(batch, chunkKeys, chunk)
 		if runErr != nil {
+			if errors.Is(runErr, sim.ErrInterrupted) {
+				// Preempted (SIGTERM, lease-loss watchdog): the in-flight
+				// task checkpointed to the shared store. Do NOT report an
+				// error — the campaign is healthy; exiting without
+				// completing lets the lease lapse so any other worker
+				// re-leases the task and resumes it from the checkpoint.
+				w.logf("worker %s: preempted mid-task; checkpoint left for takeover", w.Name)
+				return runErr
+			}
 			// Report the failure so the coordinator fails the campaign
 			// fast (task errors are deterministic), then surface it.
 			w.postComplete(ctx, gen, rep.Lease, []resultLine{{Key: chunkKeys[0], Error: runErr.Error()}})

@@ -26,8 +26,6 @@
 package gridplan
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"sort"
 	"strconv"
@@ -334,41 +332,11 @@ func (p *Plan) Verify(ms []Measurement) error {
 
 // KernelDigest fingerprints a kernel's content: structure, body,
 // per-warp iteration counts and pattern addresses sampled across warps
-// and iterations. Sampling keeps the digest cheap while still moving
-// whenever the kernel is regenerated differently (a different seed or
-// source perturbs essentially every address of the stochastic
-// streams). Workers compare it against a plan's Task.Digest before
-// simulating, so a stale catalogue cannot silently corrupt a sweep.
+// and iterations. Workers compare it against a plan's Task.Digest
+// before simulating, so a stale catalogue cannot silently corrupt a
+// sweep. The implementation lives in package trace (the digest is a
+// pure function of the kernel) so the simulator's prefix cache can
+// chain the same digests without depending on gridplan.
 func KernelDigest(k *trace.Kernel) string {
-	d := sha256.New()
-	fmt.Fprintf(d, "%s;%d;%d;%d;%d;%d;%d;%v", k.Name, k.Iters,
-		k.WarpsPerBlock, k.Blocks, k.MaxWarpsPerSched, k.MaxBlocksPerSM,
-		k.Seed, k.IterJitter)
-	for _, ins := range k.Body {
-		fmt.Fprintf(d, ",%d.%d.%d.%v", ins.Kind, ins.Slot, ins.UseDist, ins.DepALU)
-	}
-	for _, it := range k.PerWarpIters {
-		fmt.Fprintf(d, ":%d", it)
-	}
-	total := k.TotalWarps()
-	for _, g := range []int{0, total / 3, total / 2, total - 1} {
-		if g < 0 || g >= total {
-			continue
-		}
-		ctx := trace.Ctx{GlobalWarp: g, Block: g / k.WarpsPerBlock, WarpInBlk: g % k.WarpsPerBlock}
-		iters := k.WarpIters(g)
-		for slot, p := range k.Patterns {
-			if p == nil {
-				continue
-			}
-			for probe := 0; probe < 16; probe++ {
-				seq := probe * iters / 16
-				if seq >= iters {
-					break
-				}
-				fmt.Fprintf(d, "@%d.%d.%d=%x", g, slot, seq, p.Addr(ctx, seq))
-			}
-		}
-	}
-	return hex.EncodeToString(d.Sum(nil)[:8])
+	return trace.KernelDigest(k)
 }

@@ -1,0 +1,37 @@
+package noc
+
+import (
+	"fmt"
+
+	"poise/internal/snap"
+)
+
+// EncodeState serialises the crossbar's mutable state (port next-free
+// cycles and statistics); latencies come from the configuration.
+func (x *Crossbar) EncodeState(w *snap.Writer) {
+	w.Uvarint(uint64(len(x.reqPorts)))
+	for i := range x.reqPorts {
+		w.Varint(x.reqPorts[i])
+		w.Varint(x.respPorts[i])
+	}
+	w.Varint(x.ReqFlits)
+	w.Varint(x.RespFlits)
+	w.Varint(x.QueueDelay)
+}
+
+// DecodeState restores state written by EncodeState onto a crossbar
+// with the same port count.
+func (x *Crossbar) DecodeState(r *snap.Reader) error {
+	n := r.Uvarint()
+	if r.Err() == nil && n != uint64(len(x.reqPorts)) {
+		return fmt.Errorf("noc: snapshot has %d ports, crossbar has %d", n, len(x.reqPorts))
+	}
+	for i := range x.reqPorts {
+		x.reqPorts[i] = r.Varint()
+		x.respPorts[i] = r.Varint()
+	}
+	x.ReqFlits = r.Varint()
+	x.RespFlits = r.Varint()
+	x.QueueDelay = r.Varint()
+	return r.Err()
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -13,6 +14,7 @@ import (
 	"poise/internal/gridplan"
 	"poise/internal/runner"
 	"poise/internal/sim"
+	"poise/internal/snap"
 	"poise/internal/trace"
 )
 
@@ -85,6 +87,13 @@ func RunTasks(cfg config.Config, kernels map[string]*trace.Kernel, tasks []gridp
 	return mapTasks(kernels, tasks, opts, pool.Get, pool.Put)
 }
 
+// taskCheckpointKey names a task's mid-run snapshot in a checkpoint
+// store: the full task identity plus the kernel content digest, so a
+// checkpoint from a stale plan can never resume against drifted traces.
+func taskCheckpointKey(t gridplan.Task) string {
+	return "task|" + t.Key() + "|" + t.Digest
+}
+
 func mapTasks(kernels map[string]*trace.Kernel, tasks []gridplan.Task, opts SweepOptions,
 	get func() (*sim.GPU, error), put func(*sim.GPU)) ([]gridplan.Measurement, error) {
 	return runner.MapSlice(opts.Ctx, opts.Workers, tasks,
@@ -94,7 +103,7 @@ func mapTasks(kernels map[string]*trace.Kernel, tasks []gridplan.Task, opts Swee
 			if err != nil {
 				return gridplan.Measurement{}, err
 			}
-			res, err := g.Run(k, sim.Fixed{N: t.N, P: t.P}, sim.RunOptions{MaxCycles: opts.MaxCycles})
+			res, err := runTask(g, k, t, opts)
 			put(g)
 			if err != nil {
 				return gridplan.Measurement{}, fmt.Errorf("profile: point (%d,%d) of %s: %w", t.N, t.P, t.Kernel, err)
@@ -107,6 +116,61 @@ func mapTasks(kernels map[string]*trace.Kernel, tasks []gridplan.Task, opts Swee
 				Cycles:  res.Cycles, Instructions: res.Instructions,
 			}, nil
 		})
+}
+
+// runTask simulates one grid point, resuming a stored checkpoint when
+// one exists and writing one when the task is preempted. The
+// measurement a resumed task produces is bit-identical to an
+// uninterrupted run (sim's snapshot covers all live engine state), so
+// checkpointing never perturbs merged sweep output.
+func runTask(g *sim.GPU, k *trace.Kernel, t gridplan.Task, opts SweepOptions) (sim.KernelResult, error) {
+	pol := sim.Fixed{N: t.N, P: t.P}
+	ro := sim.RunOptions{MaxCycles: opts.MaxCycles, Interrupt: opts.Interrupt}
+	key := taskCheckpointKey(t)
+	if opts.Checkpoints != nil {
+		if sn, err := opts.Checkpoints.Load(key); err == nil && sn.Kind == snap.KindTask {
+			res, rerr := g.ResumeKernel(k, pol, ro, sn.State)
+			if rerr == nil {
+				// Best effort: a leftover checkpoint only wastes a probe.
+				_ = opts.Checkpoints.Delete(key)
+				return res, nil
+			}
+			if errors.Is(rerr, sim.ErrInterrupted) {
+				return res, saveTaskCheckpoint(g, pol, t, key, opts, rerr)
+			}
+			// Unreadable checkpoint: scrub the half-restored GPU and run
+			// the task from the start.
+			g.Reset()
+		}
+	}
+	res, err := g.Run(k, pol, ro)
+	if err != nil {
+		if errors.Is(err, sim.ErrInterrupted) && opts.Checkpoints != nil {
+			return res, saveTaskCheckpoint(g, pol, t, key, opts, err)
+		}
+		return res, err
+	}
+	return res, nil
+}
+
+// saveTaskCheckpoint snapshots a preempted task and returns the
+// interrupt error (annotated if the save itself failed).
+func saveTaskCheckpoint(g *sim.GPU, pol sim.Policy, t gridplan.Task, key string, opts SweepOptions, cause error) error {
+	state, err := g.SnapshotKernel(pol)
+	if err != nil {
+		return fmt.Errorf("profile: checkpointing preempted task: %v (preempted by %w)", err, cause)
+	}
+	sn := &snap.Snapshot{
+		Kind:     snap.KindTask,
+		Key:      key,
+		Workload: t.Kernel,
+		Cycle:    g.Now(),
+		State:    state,
+	}
+	if err := opts.Checkpoints.Save(sn); err != nil {
+		return fmt.Errorf("profile: saving task checkpoint: %v (preempted by %w)", err, cause)
+	}
+	return cause
 }
 
 // MergeShards assembles per-shard measurement sets into the kernel's

@@ -1,0 +1,91 @@
+package profile
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+
+	"poise/internal/sim"
+	"poise/internal/snap"
+	"poise/internal/testutil"
+	"poise/internal/trace"
+)
+
+// TestPreemptedSweepResumesIdentically is the sweep-level preemption
+// invariant: interrupting a RunTasks call mid-task (as a SIGTERM'd
+// worker would), then re-running the same shard against the same
+// checkpoint store in a "second process", must merge to a profile
+// reflect.DeepEqual-identical to an uninterrupted sweep.
+func TestPreemptedSweepResumesIdentically(t *testing.T) {
+	cfg := testutil.TinyConfig()
+	k := testutil.ThrashKernel("preempt", 20, 12, 4)
+	opts := SweepOptions{StepN: 4, StepP: 4}
+	kernels := map[string]*trace.Kernel{k.Name: k}
+	plan := BuildPlan("", cfg, k, opts)
+
+	clean, err := RunTasks(cfg, kernels, plan.Tasks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MergeShards(k.Name, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interrupt early enough that every grid point is still in flight.
+	at := clean[0].Cycles
+	for _, m := range clean {
+		if m.Cycles < at {
+			at = m.Cycles
+		}
+	}
+	at /= 2
+	if at < 1 {
+		t.Skipf("tasks too short (%d cycles) to interrupt", at)
+	}
+
+	for _, workers := range []int{1, 3} {
+		store, err := snap.NewStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		io := opts
+		io.Workers = workers
+		io.Interrupt = &sim.InterruptCtl{AtCycle: at}
+		io.Checkpoints = store
+		if _, err := RunTasks(cfg, kernels, plan.Tasks, io); !errors.Is(err, sim.ErrInterrupted) {
+			t.Fatalf("workers=%d: interrupted RunTasks: got %v, want ErrInterrupted", workers, err)
+		}
+		ents, err := os.ReadDir(store.Dir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) == 0 {
+			t.Fatalf("workers=%d: preemption left no checkpoints", workers)
+		}
+
+		ro := opts
+		ro.Workers = workers
+		ro.Checkpoints = store
+		ms, err := RunTasks(cfg, kernels, plan.Tasks, ro)
+		if err != nil {
+			t.Fatalf("workers=%d: resumed RunTasks: %v", workers, err)
+		}
+		got, err := MergeShards(k.Name, ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: resumed sweep diverges from uninterrupted sweep:\nwant %+v\ngot  %+v", workers, want, got)
+		}
+		// Consumed checkpoints are scrubbed so a later sweep with the
+		// same store never probes stale state.
+		ents, err = os.ReadDir(store.Dir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) != 0 {
+			t.Fatalf("workers=%d: %d checkpoint(s) left after resume", workers, len(ents))
+		}
+	}
+}

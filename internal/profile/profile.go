@@ -15,6 +15,8 @@ import (
 	"path/filepath"
 
 	"poise/internal/config"
+	"poise/internal/sim"
+	"poise/internal/snap"
 	"poise/internal/trace"
 )
 
@@ -134,6 +136,18 @@ type SweepOptions struct {
 	// Best/BestDiagonal/BestScore optima and the corner points should
 	// keep Refine nil.
 	Refine *RefineOptions
+	// Interrupt, when non-nil, makes the sweep preemptible: a fired
+	// control stops in-flight tasks at a safe point with
+	// sim.ErrInterrupted (after checkpointing them to Checkpoints, when
+	// that is also set). Already-completed task measurements are
+	// unaffected.
+	Interrupt *sim.InterruptCtl
+	// Checkpoints, when non-nil, stores mid-task snapshots keyed by
+	// task identity. Before simulating a task, RunTasks probes the
+	// store and resumes from a checkpoint instead of starting over —
+	// any process pointed at the same directory continues a preempted
+	// task bit-identically.
+	Checkpoints *snap.Store
 }
 
 func (o SweepOptions) withDefaults() SweepOptions {

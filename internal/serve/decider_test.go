@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"poise/internal/poise"
 )
@@ -177,6 +178,11 @@ func BenchmarkDecideUncached(b *testing.B) {
 // goroutine hammers the same memoised keys, which is the worst case
 // for a lock-based cache and the best case for the atomic-pointer +
 // sync.Map design. Throughput should scale with GOMAXPROCS.
+//
+// The ObserveEach/ObserveBatch pair quantifies the /decide latency
+// accounting: ObserveEach is the old per-decision path (two contended
+// atomic adds per op), ObserveBatch the handler's current shape — a
+// local histBatch flushed once per 64-decision batch.
 func BenchmarkDecideParallel(b *testing.B) {
 	d, err := NewDecider(testWeights())
 	if err != nil {
@@ -187,14 +193,49 @@ func BenchmarkDecideParallel(b *testing.B) {
 		keys[i] = fmt.Sprintf("k%d", i)
 		d.Decide(keys[i], testVector(i), 24)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		x := testVector(5)
-		i := 0
-		for pb.Next() {
+	run := func(b *testing.B, decide func(h *histogram, i int, x poise.Vector)) {
+		var h histogram
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			x := testVector(5)
+			i := 0
+			for pb.Next() {
+				decide(&h, i, x)
+				i++
+			}
+		})
+	}
+	b.Run("Bare", func(b *testing.B) {
+		run(b, func(h *histogram, i int, x poise.Vector) {
 			d.Decide(keys[i&15], x, 24)
-			i++
-		}
+		})
+	})
+	b.Run("ObserveEach", func(b *testing.B) {
+		run(b, func(h *histogram, i int, x poise.Vector) {
+			t0 := time.Now()
+			d.Decide(keys[i&15], x, 24)
+			h.Observe(time.Since(t0).Nanoseconds())
+		})
+	})
+	b.Run("ObserveBatch", func(b *testing.B) {
+		var h histogram
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			x := testVector(5)
+			var hb histBatch
+			i := 0
+			for pb.Next() {
+				t0 := time.Now()
+				d.Decide(keys[i&15], x, 24)
+				hb.Observe(time.Since(t0).Nanoseconds())
+				if i&63 == 63 {
+					hb.FlushTo(&h)
+				}
+				i++
+			}
+			hb.FlushTo(&h)
+		})
 	})
 }

@@ -24,6 +24,41 @@ func (h *histogram) Observe(ns int64) {
 	h.count.Add(1)
 }
 
+// histBatch accumulates observations in plain locals so a JSONL decide
+// batch costs one flush — one atomic add per touched bucket plus one
+// count add — instead of two atomic adds per decision. A batch of n
+// same-magnitude latencies goes from 2n contended atomics to 2.
+type histBatch struct {
+	counts [64]int64
+	n      int64
+}
+
+// Observe records one latency in nanoseconds, locally.
+func (b *histBatch) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	b.counts[bits.Len64(uint64(ns))]++
+	b.n++
+}
+
+// FlushTo folds the batch into h and resets b for reuse. Buckets land
+// before the count, same order as Observe, so a concurrent Quantile
+// never sees a count its bucket walk cannot reach.
+func (b *histBatch) FlushTo(h *histogram) {
+	if b.n == 0 {
+		return
+	}
+	for i := range b.counts {
+		if c := b.counts[i]; c != 0 {
+			h.buckets[i].Add(c)
+			b.counts[i] = 0
+		}
+	}
+	h.count.Add(b.n)
+	b.n = 0
+}
+
 // Quantile returns an upper bound on the q-quantile (0 < q <= 1) of
 // the observed values, or 0 when nothing has been observed.
 func (h *histogram) Quantile(q float64) int64 {

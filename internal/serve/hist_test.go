@@ -1,0 +1,48 @@
+package serve
+
+import "testing"
+
+// TestHistBatchMatchesObserve pins the batching refactor: a histBatch
+// flushed into a histogram must leave it indistinguishable from one
+// fed the same values through per-observation Observe calls.
+func TestHistBatchMatchesObserve(t *testing.T) {
+	values := []int64{0, -7, 1, 2, 3, 500, 501, 1 << 20, 1<<20 + 1, 1 << 40, 999, 1000}
+
+	var direct histogram
+	for _, v := range values {
+		direct.Observe(v)
+	}
+
+	var batched histogram
+	var hb histBatch
+	for i, v := range values {
+		hb.Observe(v)
+		if i == len(values)/2 {
+			hb.FlushTo(&batched) // mid-stream flush: reuse after reset
+		}
+	}
+	hb.FlushTo(&batched)
+	hb.FlushTo(&batched) // empty flush is a no-op
+
+	if got, want := batched.count.Load(), direct.count.Load(); got != want {
+		t.Fatalf("batched count = %d, want %d", got, want)
+	}
+	for b := range direct.buckets {
+		if got, want := batched.buckets[b].Load(), direct.buckets[b].Load(); got != want {
+			t.Fatalf("bucket %d: batched = %d, want %d", b, got, want)
+		}
+	}
+	for _, q := range []float64{0.25, 0.50, 0.90, 0.99, 1.0} {
+		if got, want := batched.Quantile(q), direct.Quantile(q); got != want {
+			t.Fatalf("Quantile(%g): batched = %d, want %d", q, got, want)
+		}
+	}
+	if hb.n != 0 {
+		t.Fatalf("histBatch not reset after flush: n = %d", hb.n)
+	}
+	for i, c := range hb.counts {
+		if c != 0 {
+			t.Fatalf("histBatch bucket %d not reset after flush: %d", i, c)
+		}
+	}
+}

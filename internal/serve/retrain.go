@@ -47,6 +47,7 @@ type Retrainer struct {
 	mu         sync.Mutex
 	cond       *sync.Cond
 	samples    []poise.Sample
+	replayed   []Record // log history, drained once by the server at boot
 	records    int64
 	gen        int64 // bumped per ingest
 	trainedGen int64 // loop has folded everything up to this gen
@@ -76,6 +77,7 @@ func NewRetrainer(d *Decider, logPath string, opts RetrainOptions) (*Retrainer, 
 			return nil, err
 		}
 		r.log = log
+		r.replayed = recs
 		for _, rec := range recs {
 			r.records++
 			r.samples = append(r.samples, rec.Samples...)
@@ -113,6 +115,18 @@ func (r *Retrainer) Ingest(rec Record) (records, totalSamples int64, err error) 
 		r.cond.Broadcast()
 	}
 	return r.records, int64(len(r.samples)), nil
+}
+
+// DrainReplayed hands over (and releases) the records replayed from the
+// sample log at construction, so the server can re-register their
+// kernels — a restarted service serves the same /table rows the
+// previous life earned through /ingest.
+func (r *Retrainer) DrainReplayed() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	recs := r.replayed
+	r.replayed = nil
+	return recs
 }
 
 // Totals returns the ingested record and sample counts.

@@ -10,6 +10,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
+	"sync"
 	"time"
 
 	"poise/internal/config"
@@ -107,6 +109,20 @@ type Server struct {
 	ret         *Retrainer
 	hist        histogram
 	defaultMaxN int
+
+	// ingested registers the kernels that arrived via /ingest (or were
+	// replayed from the sample log), keyed by their memo key, so /table
+	// can serve their rows from the memoised Decider state.
+	ingMu    sync.Mutex
+	ingested map[string]ingestedKernel
+}
+
+// ingestedKernel is one /ingest-arrived kernel: the memo key it
+// decides under, its feature vector, and the warp bound it trains at.
+type ingestedKernel struct {
+	name string
+	x    poise.Vector
+	maxN int
 }
 
 // New validates the boot weights and assembles the service, replaying
@@ -135,7 +151,15 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, dec: dec, ret: ret, defaultMaxN: cfg.SimCfg.WarpsPerSched}, nil
+	s := &Server{
+		cfg: cfg, dec: dec, ret: ret,
+		defaultMaxN: cfg.SimCfg.WarpsPerSched,
+		ingested:    make(map[string]ingestedKernel),
+	}
+	for _, rec := range ret.DrainReplayed() {
+		s.registerIngested(rec)
+	}
+	return s, nil
 }
 
 // Decider exposes the in-process decision path (the HTTP layer is for
@@ -209,6 +233,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 
 	version := s.dec.Version()
 	replies := make([]DecideReply, len(reqs))
+	var hb histBatch // one shared-histogram flush per batch, not per decision
 	for i, req := range reqs {
 		maxN := req.MaxN
 		if maxN == 0 {
@@ -216,9 +241,10 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		}
 		t0 := time.Now()
 		n, p, cached := s.dec.Decide(req.Key, req.X, maxN)
-		s.hist.Observe(time.Since(t0).Nanoseconds())
+		hb.Observe(time.Since(t0).Nanoseconds())
 		replies[i] = DecideReply{N: n, P: p, Version: version, Cached: cached}
 	}
+	hb.FlushTo(&s.hist)
 
 	w.Header().Set("Content-Type", "application/jsonl")
 	bw := bufio.NewWriter(w)
@@ -230,21 +256,75 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	bw.Flush()
 }
 
-// handleTable serves the static policy table — byte for byte what
-// `poisesim -best` prints for the same profile directory, because both
-// render profile.BestTable.
+// handleTable serves the policy table. Profile-backed rows come first,
+// byte for byte what `poisesim -best` prints for the same profile
+// directory (both render profile.BestTable — CI diffs them literally).
+// Kernels that arrived via /ingest follow, answered from the memoised
+// Decider state: each row is the active model's decision for that
+// kernel's feature vector, so the rows track every retrain.
 func (s *Server) handleTable(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.ProfileDir == "" {
-		http.Error(w, "serve: no profile store configured", http.StatusNotFound)
-		return
+	var table string
+	if s.cfg.ProfileDir != "" {
+		var err error
+		table, err = profile.BestTable(s.cfg.ProfileDir, s.cfg.Params)
+		if err != nil {
+			http.Error(w, "serve: deriving policy table: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
 	}
-	table, err := profile.BestTable(s.cfg.ProfileDir, s.cfg.Params)
-	if err != nil {
-		http.Error(w, "serve: deriving policy table: "+err.Error(), http.StatusInternalServerError)
+	rows := s.ingestedRows()
+	if table == "" && len(rows) == 0 {
+		http.Error(w, "serve: no profile store configured and nothing ingested", http.StatusNotFound)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, table)
+	for _, row := range rows {
+		fmt.Fprintln(w, row)
+	}
+}
+
+// registerIngested records rec's kernels in the /table registry. The
+// memo key is workload-qualified so two workloads' same-named kernels
+// memoise separately; a re-ingest of the same kernel refreshes its
+// feature vector in place.
+func (s *Server) registerIngested(rec Record) {
+	s.ingMu.Lock()
+	defer s.ingMu.Unlock()
+	for _, sm := range rec.Samples {
+		maxN := sm.MaxN
+		if maxN < 1 || maxN > MaxTableN {
+			maxN = s.defaultMaxN
+		}
+		key := "ingest/" + rec.Signature.Workload + "/" + sm.Kernel
+		s.ingested[key] = ingestedKernel{name: sm.Kernel, x: sm.X, maxN: maxN}
+	}
+}
+
+// ingestedRows renders the /ingest-arrived rows of /table through the
+// memoised decision path — the same Decide that answers the HTTP
+// endpoint, so the first render populates the model's memo table and
+// later /decide calls on these keys hit it. Sorted by rendered form,
+// matching BestTableRows' ordering discipline.
+func (s *Server) ingestedRows() []string {
+	s.ingMu.Lock()
+	keys := make([]string, 0, len(s.ingested))
+	for key := range s.ingested {
+		keys = append(keys, key)
+	}
+	kernels := make([]ingestedKernel, 0, len(keys))
+	for _, key := range keys {
+		kernels = append(kernels, s.ingested[key])
+	}
+	s.ingMu.Unlock()
+	version := s.dec.Version()
+	rows := make([]string, 0, len(kernels))
+	for i, k := range kernels {
+		n, p, _ := s.dec.Decide(keys[i], k.x, k.maxN)
+		rows = append(rows, fmt.Sprintf("%-14s model (%2d,%2d) weights v%d", k.name, n, p, version))
+	}
+	sort.Strings(rows)
+	return rows
 }
 
 // handleIngest accepts either a raw poisetrace container (optionally
@@ -291,6 +371,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "serve: ingest: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.registerIngested(rec)
 	s.cfg.Logf("serve: ingested %s: %d samples (%d records, %d samples total)",
 		rec.Signature.Workload, len(rec.Samples), records, samples)
 	w.Header().Set("Content-Type", "application/json")

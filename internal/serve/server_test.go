@@ -149,6 +149,85 @@ func TestServeTableUnconfigured(t *testing.T) {
 	}
 }
 
+// TestServeTableIncludesIngestedKeys pins the /ingest → /table path:
+// profile-backed rows stay byte-identical to profile.BestTable (the
+// `poisesim -best` contract), and kernels that arrived via /ingest get
+// appended rows answered from the memoised Decider state. The rows
+// survive a service restart via the sample log, and the render warms
+// the memo table so a later /decide on the same key is a cache hit.
+func TestServeTableIncludesIngestedKeys(t *testing.T) {
+	dir := t.TempDir()
+	st := profile.Store{Dir: dir}
+	if err := st.Save("tag", tableProfile("bk")); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(t.TempDir(), "samples.jsonl")
+	w := testWeights()
+	cfg := Config{Weights: w, ProfileDir: dir, SampleLog: logPath, Retrain: RetrainOptions{Min: 1 << 20}}
+	s, c := newTestServer(t, cfg)
+
+	rec := synthRecord(3, 4)
+	if _, err := c.IngestRecord(context.Background(), rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Table(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profTable, err := profile.BestTable(dir, config.DefaultPoise())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(got, profTable) {
+		t.Fatalf("/table no longer starts with the profile-backed rows:\n%q", got)
+	}
+	// synthRecord's samples share one kernel name, so exactly one
+	// memoised row follows, decided by the boot weights (Min is high
+	// enough that no retrain fired).
+	last := rec.Samples[len(rec.Samples)-1]
+	wantN, wantP := w.PredictTuple(last.X, last.MaxN)
+	wantRow := fmt.Sprintf("%-14s model (%2d,%2d) weights v1\n", "synth", wantN, wantP)
+	if got != profTable+wantRow {
+		t.Fatalf("/table = %q, want %q", got, profTable+wantRow)
+	}
+	// The render went through Decide with the row's memo key, so the
+	// same key over HTTP is now answered from the memo table.
+	replies, err := c.Decide(context.Background(), []DecideRequest{
+		{Key: "ingest/synth/synth", X: last.X, MaxN: last.MaxN},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 1 || !replies[0].Cached {
+		t.Fatalf("post-table decide replies = %+v, want one cached reply", replies)
+	}
+
+	// A restarted service replays the sample log and re-registers the
+	// ingested kernels: same rows, no re-ingest needed.
+	s.Close()
+	_, c2 := newTestServer(t, cfg)
+	got2, err := c2.Table(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != got {
+		t.Fatalf("restarted /table = %q, want %q", got2, got)
+	}
+
+	// With no profile store at all, ingested rows alone serve /table.
+	_, c3 := newTestServer(t, Config{Weights: w, Retrain: RetrainOptions{Min: 1 << 20}})
+	if _, err := c3.IngestRecord(context.Background(), rec); err != nil {
+		t.Fatal(err)
+	}
+	got3, err := c3.Table(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got3 != wantRow {
+		t.Fatalf("profile-less /table = %q, want %q", got3, wantRow)
+	}
+}
+
 func TestServeIngestRecord(t *testing.T) {
 	s, c := newTestServer(t, Config{Weights: testWeights(), Retrain: RetrainOptions{Min: 8}})
 	rep, err := c.IngestRecord(context.Background(), synthRecord(1, 9))

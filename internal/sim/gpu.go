@@ -65,6 +65,12 @@ type GPU struct {
 	rq     readyQueue
 	now    int64
 
+	// policyNext parks the in-flight policy activation cycle when a run
+	// is interrupted, so a restored run resumes the Step schedule
+	// exactly (it is live only between ErrInterrupted and the snapshot;
+	// the running loop keeps it in a local).
+	policyNext int64
+
 	// blockScratch is reused by residentBlocks to count distinct live
 	// blocks without allocating on every launch attempt.
 	blockScratch []int32
@@ -161,6 +167,7 @@ func (g *GPU) Reset() {
 	g.rq.resetState()
 	g.blockScratch = g.blockScratch[:0]
 	g.now = 0
+	g.policyNext = 0
 	g.kernel = nil
 	g.bodyLen = 0
 	g.nextBlk = 0

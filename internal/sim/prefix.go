@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"poise/internal/config"
+	"poise/internal/snap"
+	"poise/internal/trace"
+)
+
+// Content-addressed kernel-boundary prefix cache. Sweeps and
+// comparison grids run the same workloads under many tuple settings;
+// whenever two runs agree on the (config, options, kernel digest,
+// tuple) sequence for kernels 1..k, their GPU state at the k-th kernel
+// boundary is identical — the simulation is deterministic — so the
+// second run can restore a snapshot and start at kernel k+1. Keys are
+// digest chains: H(prefix-key, kernel digest, applied tuple), rooted
+// in the config and run options, so cells of different grids (or SWL
+// vs Fixed policies that happen to pin the same tuples) share entries
+// without any coordination.
+
+// TuplePrefixer is implemented by policies whose effect on a kernel is
+// fully determined by one warp-tuple pinned at kernel start (GTO,
+// Fixed and the profile-derived SWL/Static-Best built on Fixed).
+// Adaptive policies steer mid-kernel from observed counters, so their
+// boundary state is not a function of a tuple sequence and they cannot
+// use the prefix cache.
+type TuplePrefixer interface {
+	Policy
+	// PrefixTuple returns the tuple the policy will pin for kernel k
+	// (before scheduler clamping) and whether the prediction is exact.
+	PrefixTuple(cfg config.Config, k *trace.Kernel) (n, p int, ok bool)
+}
+
+// kernelMaxN mirrors GPU.MaxN for key computation before a GPU exists.
+func kernelMaxN(cfg config.Config, k *trace.Kernel) int {
+	n := cfg.WarpsPerSched
+	if k.MaxWarpsPerSched > 0 && k.MaxWarpsPerSched < n {
+		n = k.MaxWarpsPerSched
+	}
+	return n
+}
+
+// clampTuple applies the scheduler's SetTuple clamp so keys use the
+// tuple that actually takes effect, collapsing out-of-range requests
+// onto the same entry.
+func clampTuple(cfg config.Config, n, p int) (int, int) {
+	c := cfg.WarpsPerSched
+	if n < 1 {
+		n = 1
+	}
+	if n > c {
+		n = c
+	}
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	return n, p
+}
+
+// PrefixTuple implements TuplePrefixer: GTO always runs all warps.
+func (GTO) PrefixTuple(cfg config.Config, k *trace.Kernel) (int, int, bool) {
+	m := kernelMaxN(cfg, k)
+	return m, m, true
+}
+
+// PrefixTuple implements TuplePrefixer, replicating KernelStart's
+// tuple resolution.
+func (f Fixed) PrefixTuple(cfg config.Config, k *trace.Kernel) (int, int, bool) {
+	n, p := f.N, f.P
+	if t, ok := f.PerKernel[k.Name]; ok {
+		n, p = t[0], t[1]
+	}
+	if n <= 0 {
+		n = kernelMaxN(cfg, k)
+	}
+	if p <= 0 {
+		p = n
+	}
+	return n, p, true
+}
+
+// PrefixCache shares kernel-boundary snapshots between workload runs
+// through a content-addressed store. Safe for concurrent use by
+// parallel sweep workers: entries are immutable once written (atomic
+// rename) and a racing double-write produces the same bytes.
+type PrefixCache struct {
+	store *snap.Store
+
+	// Counters report cache effectiveness (see BenchmarkPrefixCache).
+	Hits           atomic.Int64
+	Misses         atomic.Int64
+	CyclesSaved    atomic.Int64 // simulated cycles restored, not re-run
+	KernelsSkipped atomic.Int64
+}
+
+// NewPrefixCache opens (creating if needed) a prefix cache rooted at
+// dir.
+func NewPrefixCache(dir string) (*PrefixCache, error) {
+	st, err := snap.NewStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &PrefixCache{store: st}, nil
+}
+
+// Store exposes the underlying content-addressed store.
+func (pc *PrefixCache) Store() *snap.Store { return pc.store }
+
+// prefixKeys returns the digest chain for a workload's kernels:
+// keys[i] addresses the GPU state after kernels 0..i completed under
+// the given tuples. The root digest covers everything else that shapes
+// the simulation: the hardware config, the run options and whether
+// tuple tracing is on (tracing never changes results, but keeping the
+// flag in the key keeps the cache conservative).
+func prefixKeys(cfg config.Config, opts RunOptions, tracing bool, w *Workload, tuples [][2]int) []string {
+	d := sha256.New()
+	fmt.Fprintf(d, "poise-prefix-v%d|%+v|%d|%d|%d|%v", simStateVersion,
+		cfg, opts.MaxCycles, opts.MaxInstructions, opts.Engine, tracing)
+	prev := hex.EncodeToString(d.Sum(nil))
+	keys := make([]string, len(w.Kernels))
+	for i, k := range w.Kernels {
+		h := sha256.New()
+		fmt.Fprintf(h, "%s|%s|%d,%d", prev, trace.KernelDigest(k), tuples[i][0], tuples[i][1])
+		prev = hex.EncodeToString(h.Sum(nil))
+		keys[i] = prev
+	}
+	return keys
+}
+
+// boundarySnapshot packs the GPU state after kernel i completed, plus
+// the aggregation over kernels 0..i, under the chain key.
+func (g *GPU) boundarySnapshot(key string, w *Workload, i int, agg *workloadAgg) *snap.Snapshot {
+	wr := snap.NewWriter()
+	wr.Bytes(agg.encode())
+	g.encodeState(wr, false)
+	return &snap.Snapshot{
+		Kind:        snap.KindBoundary,
+		Key:         key,
+		Workload:    w.Name,
+		KernelIndex: i + 1,
+		Cycle:       g.now,
+		State:       wr.Data(),
+	}
+}
+
+// restoreBoundary loads a boundary snapshot onto g and returns the
+// aggregation it carries. On error the GPU may be partially mutated;
+// the caller must Reset it before using it.
+func (g *GPU) restoreBoundary(sn *snap.Snapshot) (*workloadAgg, error) {
+	if sn.Kind != snap.KindBoundary {
+		return nil, fmt.Errorf("sim: snapshot kind %v is not a kernel boundary", sn.Kind)
+	}
+	r := snap.NewReader(sn.State)
+	aggBytes := r.LimitedBytes(maxAggSnap)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	running, err := g.decodeState(r)
+	if err != nil {
+		return nil, err
+	}
+	if running {
+		return nil, errors.New("sim: boundary snapshot contains a running kernel")
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("sim: %d trailing bytes in boundary snapshot", r.Len())
+	}
+	return decodeWorkloadAgg(aggBytes)
+}
+
+// RunWorkloadCached is RunWorkload through the prefix cache: it
+// restores the deepest cached boundary whose key chain matches this
+// run and simulates only the remaining kernels, saving any boundaries
+// the cache is missing along the way. Results are bit-identical to an
+// uncached run (the snapshot is the complete live state and the
+// simulation is deterministic); only the simulated-cycle cost drops.
+// Falls back to plain RunWorkload when pc is nil, the policy is not a
+// TuplePrefixer, the workload has a single kernel, or an interrupt
+// control is armed.
+func (g *GPU) RunWorkloadCached(w *Workload, p Policy, opts RunOptions, pc *PrefixCache) (WorkloadResult, error) {
+	tp, prefixable := p.(TuplePrefixer)
+	if pc == nil || !prefixable || len(w.Kernels) < 2 || opts.Interrupt != nil {
+		return g.RunWorkload(w, p, opts)
+	}
+	if err := w.Validate(); err != nil {
+		return WorkloadResult{}, err
+	}
+	tuples := make([][2]int, len(w.Kernels))
+	for i, k := range w.Kernels {
+		n, pp, ok := tp.PrefixTuple(g.Cfg, k)
+		if !ok {
+			return g.RunWorkload(w, p, opts)
+		}
+		tuples[i][0], tuples[i][1] = clampTuple(g.Cfg, n, pp)
+	}
+	keys := prefixKeys(g.Cfg, opts, g.TraceTuples, w, tuples)
+
+	agg := newWorkloadAgg(w, p)
+	start := 0
+	for j := len(w.Kernels) - 2; j >= 0; j-- {
+		sn, err := pc.store.Load(keys[j])
+		if err != nil {
+			continue // missing (or unreadable: treat as a miss)
+		}
+		a, err := g.restoreBoundary(sn)
+		if err != nil {
+			g.Reset() // decode may have half-applied; scrub before retrying
+			continue
+		}
+		// The snapshot may have been written by a different workload or
+		// policy that shares this kernel/tuple prefix; only the labels
+		// differ, and they belong to this run.
+		a.res.Workload = w.Name
+		a.res.Policy = p.Name()
+		agg = a
+		start = j + 1
+		pc.Hits.Add(1)
+		pc.KernelsSkipped.Add(int64(j + 1))
+		pc.CyclesSaved.Add(a.res.Cycles)
+		break
+	}
+	if start == 0 {
+		pc.Misses.Add(1)
+	}
+	for i := start; i < len(w.Kernels); i++ {
+		k := w.Kernels[i]
+		ko := opts
+		ko.Warm = i > 0
+		kr, err := g.Run(k, p, ko)
+		if err != nil {
+			return agg.finish(), fmt.Errorf("sim: workload %s kernel %s: %w", w.Name, k.Name, err)
+		}
+		agg.add(kr)
+		if i <= len(w.Kernels)-2 && !pc.store.Has(keys[i]) {
+			// Best effort: a failed save only costs future hits.
+			_ = pc.store.Save(g.boundarySnapshot(keys[i], w, i, agg))
+		}
+	}
+	return agg.finish(), nil
+}
+
+// RunWorkloadCached runs w on a fresh GPU through the prefix cache.
+func RunWorkloadCached(cfg config.Config, w *Workload, p Policy, opts RunOptions, pc *PrefixCache) (WorkloadResult, error) {
+	if err := w.Validate(); err != nil {
+		return WorkloadResult{}, err
+	}
+	g, err := New(cfg)
+	if err != nil {
+		return WorkloadResult{}, err
+	}
+	return g.RunWorkloadCached(w, p, opts, pc)
+}

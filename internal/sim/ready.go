@@ -344,6 +344,44 @@ func (rq *readyQueue) startReady(g *GPU) {
 	}
 }
 
+// startResume reclassifies every scheduler after a mid-kernel restore,
+// rebuilding the ready queue from the wake hints the snapshot carried.
+// The classification is the dense-equivalent one at cycle g.now: a
+// hint at or before now means the dense scan would attempt the
+// scheduler this cycle (hot — this also covers timed wakes that came
+// due exactly at the interrupt point, which admit would have promoted
+// at the top of the interrupted visit), NoDep means only a fill can
+// help (dormant), anything else is a timed wake. Spans restart at the
+// restored visit count: the interrupt path settled every open span
+// through that visit, so the arithmetic continues exactly where the
+// uninterrupted run's would.
+func (rq *readyQueue) startResume(g *GPU, visits int64) {
+	rq.active = true
+	rq.visits = visits
+	rq.scanKey = -1
+	rq.hot = rq.hot[:0]
+	rq.woken = rq.woken[:0]
+	rq.timed.a = rq.timed.a[:0]
+	for si, s := range g.SMs {
+		for ci, sch := range s.Scheds {
+			key := int32(si)*rq.perSM + int32(ci)
+			rq.spanBase[key] = visits
+			rq.spanActive[key] = sch.ActiveWarps() > 0
+			switch h := sch.WakeHint(); {
+			case h <= g.now:
+				rq.mode[key] = schedHot
+				rq.hot = append(rq.hot, key) // SM-major order: already sorted
+			case h == sm.NoDep:
+				rq.mode[key] = schedDormant
+			default:
+				rq.mode[key] = schedTimed
+				rq.wakeAt[key] = h
+				rq.timed.push(schedEntry{cycle: h, key: key})
+			}
+		}
+	}
+}
+
 // runReady executes the kernel on the ready-queue engine. It visits
 // exactly the cycles the dense reference engine visits (the clock only
 // jumps to events and policy steps), but each visit touches only the
@@ -353,8 +391,24 @@ func (g *GPU) runReady(k *trace.Kernel, p Policy, opts RunOptions, policyNext in
 	rq := &g.rq
 	rq.startReady(g)
 	defer rq.deactivate()
+	return g.readyLoop(k, p, opts, policyNext)
+}
 
+// readyLoop is the engine's cycle loop, shared by fresh runs (after
+// startReady) and restored ones (after startResume). An interrupt is
+// honoured at the top of the loop, before the next visit begins: spans
+// settle through the last completed visit and the pending policy
+// activation is parked in g.policyNext, so the GPU holds exactly the
+// dense-equivalent state of the first unvisited cycle and a snapshot
+// taken here restores to a bit-identical continuation.
+func (g *GPU) readyLoop(k *trace.Kernel, p Policy, opts RunOptions, policyNext int64) (KernelResult, error) {
+	rq := &g.rq
 	for g.doneWarp < g.total {
+		if opts.Interrupt.due(g.now) {
+			g.flushAllSpans(rq.visits)
+			g.policyNext = policyNext
+			return KernelResult{}, ErrInterrupted
+		}
 		rq.visits++
 		// Deliver due events (fills requeue woken schedulers).
 		for {

@@ -36,6 +36,10 @@ type RunOptions struct {
 	Warm bool
 	// Engine picks the cycle-loop implementation (default EngineReady).
 	Engine Engine
+	// Interrupt, when non-nil, lets the run be stopped at a safe point
+	// for checkpointing: Run returns ErrInterrupted with the GPU state
+	// intact (see InterruptCtl). Only supported by EngineReady.
+	Interrupt *InterruptCtl
 }
 
 // KernelResult aggregates the measurements of one kernel run.
@@ -81,6 +85,9 @@ func (r KernelResult) L2HitRate() float64 {
 func (g *GPU) Run(k *trace.Kernel, p Policy, opts RunOptions) (KernelResult, error) {
 	if err := k.Validate(); err != nil {
 		return KernelResult{}, err
+	}
+	if opts.Interrupt != nil && opts.Engine == EngineDense {
+		return KernelResult{}, errors.New("sim: the dense engine does not support interrupts")
 	}
 	if opts.MaxCycles <= 0 {
 		opts.MaxCycles = 500_000_000

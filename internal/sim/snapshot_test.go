@@ -1,0 +1,261 @@
+package sim_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"poise/internal/config"
+	"poise/internal/sim"
+	"poise/internal/testutil"
+	"poise/internal/trace"
+	"poise/internal/workloads"
+)
+
+// These tests pin the tentpole guarantee of mid-run snapshots:
+// interrupt -> snapshot -> restore on a fresh GPU (and fresh policy
+// instance) -> finish produces results reflect.DeepEqual-identical to
+// an uninterrupted run — the aggregated KernelResult (which embeds the
+// per-SM counters and the tuple log) and the per-scheduler
+// issue/stall/idle tallies alike.
+
+// runKernelBaseline runs k uninterrupted and returns everything
+// observable.
+func runKernelBaseline(t *testing.T, cfg config.Config, k *trace.Kernel, p sim.Policy,
+	opts sim.RunOptions) (sim.KernelResult, [][3]int64) {
+	t.Helper()
+	g, err := sim.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	g.TraceTuples = true
+	res, err := g.Run(k, p, opts)
+	if err != nil {
+		t.Fatalf("baseline Run: %v", err)
+	}
+	return res, schedTallies(g)
+}
+
+// interruptSnapshotResume interrupts k at cycle at, snapshots, restores
+// onto a brand-new GPU with a brand-new policy, finishes, and returns
+// the outcome. Returns ok=false when the run finished before the
+// interrupt cycle (nothing to test at this point).
+func interruptSnapshotResume(t *testing.T, cfg config.Config, k *trace.Kernel,
+	mk func() sim.Policy, opts sim.RunOptions, at int64) (sim.KernelResult, [][3]int64, bool) {
+	t.Helper()
+	g, err := sim.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	g.TraceTuples = true
+	p := mk()
+	io := opts
+	io.Interrupt = &sim.InterruptCtl{AtCycle: at}
+	_, runErr := g.Run(k, p, io)
+	if runErr == nil {
+		return sim.KernelResult{}, nil, false
+	}
+	if !errors.Is(runErr, sim.ErrInterrupted) {
+		t.Fatalf("interrupted Run at cycle %d: %v", at, runErr)
+	}
+	state, err := g.SnapshotKernel(p)
+	if err != nil {
+		t.Fatalf("SnapshotKernel: %v", err)
+	}
+	g2, err := sim.New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := g2.ResumeKernel(k, mk(), opts, state)
+	if err != nil {
+		t.Fatalf("ResumeKernel at cycle %d: %v", at, err)
+	}
+	return res, schedTallies(g2), true
+}
+
+// TestSnapshotRestoreIdentityKernel covers mid-kernel snapshot points
+// on the structural kernel classes under every scheme class: early
+// (launch-heavy state), middle (steady state) and late (drain, event
+// heap nearly empty) interrupt cycles.
+func TestSnapshotRestoreIdentityKernel(t *testing.T) {
+	cfg := testutil.TinyConfig()
+	kernels := []*trace.Kernel{
+		testutil.ThrashKernel("thrash", 64, 40, 4),
+		testutil.StreamKernel("stream", 60, 4),
+		testutil.ComputeKernel("compute", 40, 4),
+		testutil.SharedKernel("shared", 16, 40, 4),
+	}
+	for _, k := range kernels {
+		for _, sc := range engineSchemes(t) {
+			k, sc := k, sc
+			t.Run(fmt.Sprintf("%s/%s", k.Name, sc.name), func(t *testing.T) {
+				t.Parallel()
+				base, baseTally := runKernelBaseline(t, cfg, k, sc.mk(), sim.RunOptions{})
+				if base.Cycles < 4 {
+					t.Skipf("kernel too short (%d cycles) to interrupt", base.Cycles)
+				}
+				for _, at := range []int64{1, base.Cycles / 4, base.Cycles / 2, base.Cycles - 1} {
+					if at < 1 {
+						continue
+					}
+					res, tally, ok := interruptSnapshotResume(t, cfg, k, sc.mk, sim.RunOptions{}, at)
+					if !ok {
+						continue
+					}
+					if !reflect.DeepEqual(base, res) {
+						t.Fatalf("restore at cycle %d diverges:\n base: %+v\n rest: %+v", at, base, res)
+					}
+					if !reflect.DeepEqual(baseTally, tally) {
+						t.Fatalf("restore at cycle %d: per-scheduler counters diverge", at)
+					}
+				}
+			})
+		}
+	}
+}
+
+// preemptChain runs w preemptibly, bouncing the checkpoint through its
+// byte encoding (as the fleet does) and through up to chainMax fresh
+// "processes" (fresh GPU + fresh policy instance per hop) before
+// letting it finish uninterrupted.
+func preemptChain(t *testing.T, cfg config.Config, w *sim.Workload, mk func() sim.Policy,
+	opts sim.RunOptions, at int64, chainMax int) (sim.WorkloadResult, bool) {
+	t.Helper()
+	io := opts
+	io.Interrupt = &sim.InterruptCtl{AtCycle: at}
+	res, cp, err := sim.RunWorkloadPreemptible(cfg, w, mk(), io)
+	if err == nil {
+		return res, false // never interrupted: nothing to chain
+	}
+	if !errors.Is(err, sim.ErrInterrupted) {
+		t.Fatalf("RunWorkloadPreemptible: %v", err)
+	}
+	for hop := 0; ; hop++ {
+		if cp == nil {
+			t.Fatalf("interrupted without checkpoint")
+		}
+		data, err := cp.Encode(fmt.Sprintf("chain-%d", hop))
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		cp2, err := sim.DecodeCheckpoint(data)
+		if err != nil {
+			t.Fatalf("DecodeCheckpoint: %v", err)
+		}
+		ro := opts
+		if hop+1 < chainMax {
+			// Keep preempting later and later into the resumed kernel.
+			ro.Interrupt = &sim.InterruptCtl{AtCycle: at + int64(hop+1)*at/2 + 1}
+		}
+		res, cp, err = sim.ResumeWorkload(cfg, w, mk(), ro, cp2)
+		if err == nil {
+			return res, true
+		}
+		if !errors.Is(err, sim.ErrInterrupted) {
+			t.Fatalf("ResumeWorkload hop %d: %v", hop, err)
+		}
+	}
+}
+
+// TestSnapshotRestoreIdentityWorkload proves checkpoint/resume at the
+// workload level on catalogue workloads under every scheme class,
+// including checkpoints that bounce across multiple hops (as tasks do
+// between preemptible fleet workers).
+func TestSnapshotRestoreIdentityWorkload(t *testing.T) {
+	cat := workloads.NewCatalogue(workloads.Small)
+	names := []string{"gco", "bfs"}
+	if !raceEnabled && !testing.Short() {
+		names = append(names, "wc")
+	}
+	cfg := testutil.TinyConfig()
+	for _, name := range names {
+		w := cat.Must(name)
+		for _, sc := range engineSchemes(t) {
+			w, sc := w, sc
+			t.Run(fmt.Sprintf("%s/%s", name, sc.name), func(t *testing.T) {
+				t.Parallel()
+				base, err := sim.RunWorkload(cfg, w, sc.mk(), sim.RunOptions{})
+				if err != nil {
+					t.Fatalf("baseline RunWorkload: %v", err)
+				}
+				var longest int64
+				for _, kr := range base.PerKernel {
+					if kr.Cycles > longest {
+						longest = kr.Cycles
+					}
+				}
+				if longest < 4 {
+					t.Skipf("kernels too short (%d cycles) to interrupt", longest)
+				}
+				res, chained := preemptChain(t, cfg, w, sc.mk, sim.RunOptions{}, longest/2, 2)
+				if !chained {
+					t.Logf("%s/%s finished before cycle %d; direct comparison only", name, sc.name, longest/2)
+				}
+				if !reflect.DeepEqual(base, res) {
+					t.Fatalf("checkpoint chain diverges:\n base: %+v\n rest: %+v", base, res)
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotRejections pins the error paths: dense engine, stale
+// kernels, policy mismatches and truncated payloads must all fail
+// loudly (never panic, never half-restore silently).
+func TestSnapshotRejections(t *testing.T) {
+	cfg := testutil.TinyConfig()
+	k := testutil.ThrashKernel("t", 64, 40, 4)
+	g, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sim.GTO{}
+	if _, err := g.Run(k, p, sim.RunOptions{Engine: sim.EngineDense,
+		Interrupt: &sim.InterruptCtl{AtCycle: 5}}); err == nil {
+		t.Fatalf("dense engine accepted an interrupt control")
+	}
+	if _, err := g.SnapshotKernel(p); err == nil {
+		t.Fatalf("SnapshotKernel succeeded with no interrupted kernel")
+	}
+	if _, err := g.Run(k, p, sim.RunOptions{Interrupt: &sim.InterruptCtl{AtCycle: 5}}); !errors.Is(err, sim.ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	state, err := g.SnapshotKernel(p)
+	if err != nil {
+		t.Fatalf("SnapshotKernel: %v", err)
+	}
+
+	fresh := func() *sim.GPU {
+		g2, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g2
+	}
+	if _, err := fresh().ResumeKernel(k, p, sim.RunOptions{Engine: sim.EngineDense}, state); err == nil {
+		t.Fatalf("ResumeKernel accepted the dense engine")
+	}
+	other := testutil.StreamKernel("other", 60, 4)
+	if _, err := fresh().ResumeKernel(other, p, sim.RunOptions{}, state); err == nil {
+		t.Fatalf("ResumeKernel accepted a different kernel")
+	}
+	if _, err := fresh().ResumeKernel(k, sim.Fixed{N: 1, P: 1}, sim.RunOptions{}, state); err == nil {
+		t.Fatalf("ResumeKernel accepted a different policy")
+	}
+	for _, cut := range []int{1, len(state) / 2, len(state) - 1} {
+		if _, err := fresh().ResumeKernel(k, p, sim.RunOptions{}, state[:cut]); err == nil {
+			t.Fatalf("ResumeKernel accepted a truncated payload (%d bytes)", cut)
+		}
+	}
+	if _, err := fresh().ResumeKernel(k, p, sim.RunOptions{}, append(append([]byte{}, state...), 0)); err == nil {
+		t.Fatalf("ResumeKernel accepted trailing bytes")
+	}
+	// A fired control stays fired: resuming with it must interrupt
+	// again immediately rather than loop.
+	ic := &sim.InterruptCtl{}
+	ic.Trigger()
+	if _, err := fresh().ResumeKernel(k, p, sim.RunOptions{Interrupt: ic}, state); !errors.Is(err, sim.ErrInterrupted) {
+		t.Fatalf("re-armed fired control: want ErrInterrupted, got %v", err)
+	}
+}

@@ -94,51 +94,24 @@ func RunWorkload(cfg config.Config, w *Workload, p Policy, opts RunOptions) (Wor
 
 // RunWorkload executes every kernel of w in order on this GPU.
 func (g *GPU) RunWorkload(w *Workload, p Policy, opts RunOptions) (WorkloadResult, error) {
-	res := WorkloadResult{Workload: w.Name}
-	if p != nil {
-		res.Policy = p.Name()
-	}
-	var amlSum float64
-	var amlW int64
-	for i, k := range w.Kernels {
+	return g.runKernelsFrom(w, p, opts, 0, newWorkloadAgg(w, p))
+}
+
+// runKernelsFrom runs kernels start.. of w, folding results into agg.
+// It is the shared tail of RunWorkload, ResumeWorkload and the prefix
+// cache (which restores a boundary snapshot and runs the remainder).
+func (g *GPU) runKernelsFrom(w *Workload, p Policy, opts RunOptions, start int, agg *workloadAgg) (WorkloadResult, error) {
+	for i := start; i < len(w.Kernels); i++ {
+		k := w.Kernels[i]
 		ko := opts
 		ko.Warm = i > 0
 		kr, err := g.Run(k, p, ko)
 		if err != nil {
-			return res, fmt.Errorf("sim: workload %s kernel %s: %w", w.Name, k.Name, err)
+			return agg.finish(), fmt.Errorf("sim: workload %s kernel %s: %w", w.Name, k.Name, err)
 		}
-		res.PerKernel = append(res.PerKernel, kr)
-		res.Cycles += kr.Cycles
-		res.Instructions += kr.Instructions
-		res.L1.Accesses += kr.L1.Accesses
-		res.L1.Hits += kr.L1.Hits
-		res.L1.IntraWarpHits += kr.L1.IntraWarpHits
-		res.L1.InterWarpHits += kr.L1.InterWarpHits
-		res.L1.PolluteAccesses += kr.L1.PolluteAccesses
-		res.L1.PolluteHits += kr.L1.PolluteHits
-		res.L1.NoPollAccesses += kr.L1.NoPollAccesses
-		res.L1.NoPollHits += kr.L1.NoPollHits
-		res.L1.Evictions += kr.L1.Evictions
-		res.L1.Bypasses += kr.L1.Bypasses
-		res.L1.Fills += kr.L1.Fills
-		res.DRAMAcc += kr.DRAMAcc
-		res.L2Acc += kr.L2Accesses
-		res.L2Hits += kr.L2Hits
-		res.NoCReqFlits += kr.NoCReqFlits
-		res.NoCRespFlits += kr.NoCRespFlits
-		if kr.AML > 0 {
-			weight := kr.L1.Accesses - kr.L1.Hits
-			amlSum += kr.AML * float64(weight)
-			amlW += weight
-		}
+		agg.add(kr)
 	}
-	if res.Cycles > 0 {
-		res.IPC = float64(res.Instructions) / float64(res.Cycles)
-	}
-	if amlW > 0 {
-		res.AML = amlSum / float64(amlW)
-	}
-	return res, nil
+	return agg.finish(), nil
 }
 
 // GTO is the baseline policy: maximum warps, everything pollutes.

@@ -1,0 +1,61 @@
+package snap
+
+import (
+	"bytes"
+	"compress/gzip"
+	"testing"
+)
+
+// FuzzSnapshot drives Decode with arbitrary bytes, enforcing the
+// never-panic discipline of the poisesnap parser: truncation, corrupt
+// varints, bad magic and version skew must all surface as errors, and
+// any input Decode accepts must pass Validate and re-encode to a
+// container that decodes to the same snapshot.
+func FuzzSnapshot(f *testing.F) {
+	sn := sampleSnapshot()
+	valid, err := sn.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write(valid)
+	zw.Close()
+
+	f.Add(valid)
+	f.Add(gz.Bytes())
+	f.Add(valid[:len(valid)/2])   // truncated mid-payload
+	f.Add(valid[:len(valid)-3])   // truncated CRC
+	f.Add([]byte("POISESNAP\n"))  // magic only
+	f.Add([]byte("NOTASNAPSHOT")) // bad magic
+	skew := append([]byte(nil), valid...)
+	skew[len(Magic)] = 0x7f // version skew
+	f.Add(recrc(skew))
+	corrupt := append([]byte(nil), valid...)
+	for i := len(Magic) + 1; i < len(corrupt)-4; i++ {
+		corrupt[i] = 0x80 // unterminated varints everywhere
+	}
+	f.Add(recrc(corrupt))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sn, err := Decode(data) // must never panic
+		if err != nil {
+			return
+		}
+		if verr := sn.Validate(); verr != nil {
+			t.Fatalf("Decode accepted a snapshot Validate rejects: %v", verr)
+		}
+		re, err := sn.Encode()
+		if err != nil {
+			t.Fatalf("re-encode of decoded snapshot failed: %v", err)
+		}
+		again, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Kind != sn.Kind || again.Key != sn.Key || again.Workload != sn.Workload ||
+			again.KernelIndex != sn.KernelIndex || again.Cycle != sn.Cycle || !bytes.Equal(again.State, sn.State) {
+			t.Fatal("decode/encode/decode not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,366 @@
+// Package snap is the "poisesnap" on-disk snapshot format: a
+// versioned, CRC-guarded container for mid-run simulator state and
+// kernel-boundary prefix snapshots. Like the poisetrace container
+// (internal/traceio) it follows the never-panic parser discipline —
+// truncated input, corrupt varints, bad magic and version skew all
+// surface as errors, enforced by FuzzSnapshot — and it reads
+// gzip-compressed containers transparently.
+//
+// Layout, version 1:
+//
+//	magic   "POISESNAP\n"                        (10 bytes)
+//	uvarint version                              (currently 1)
+//	uvarint kind
+//	string  key        (uvarint length + bytes)
+//	string  workload
+//	uvarint kernelIndex
+//	varint  cycle
+//	bytes   state      (uvarint length + opaque payload)
+//	uint32  CRC32 (IEEE) of everything above     (4 bytes, little endian)
+//
+// The state payload is written with the same Writer primitives by the
+// package that owns the state (sim, cache, sm, ...); snap treats it as
+// opaque bytes so the container's integrity check covers it without
+// knowing its schema.
+package snap
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+const (
+	// Magic opens every poisesnap container.
+	Magic = "POISESNAP\n"
+	// Version is the current container version.
+	Version = 1
+
+	// maxString bounds key/workload strings so a corrupt length prefix
+	// cannot OOM the parser.
+	maxString = 1 << 16
+	// maxState bounds the state payload a reader will allocate for.
+	maxState = 1 << 30
+)
+
+// Kind classifies what a snapshot's state payload contains.
+type Kind uint8
+
+const (
+	// KindBoundary is a kernel-boundary prefix snapshot: full GPU state
+	// between two kernels of a workload plus the aggregate so far.
+	KindBoundary Kind = iota
+	// KindCheckpoint is a mid-kernel workload checkpoint taken when a
+	// preemptible run was interrupted.
+	KindCheckpoint
+	// KindTask is a mid-kernel checkpoint of one profile sweep task.
+	KindTask
+
+	kindCount
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindBoundary:
+		return "boundary"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindTask:
+		return "task"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Snapshot is one decoded poisesnap container.
+type Snapshot struct {
+	Kind Kind
+	// Key is the snapshot's logical address: a prefix-chain digest for
+	// boundary snapshots, a task or checkpoint key otherwise.
+	Key string
+	// Workload names the workload (or kernel) the state belongs to.
+	Workload string
+	// KernelIndex is the index of the next kernel to run (boundary) or
+	// the interrupted kernel (checkpoint/task).
+	KernelIndex int
+	// Cycle is the simulation cycle at which the state was captured
+	// (the completed prefix's cycle count for boundary snapshots).
+	Cycle int64
+	// State is the opaque engine-state payload.
+	State []byte
+}
+
+// Validate checks the structural invariants Decode guarantees, so a
+// snapshot built by hand goes through the same gate as a parsed one.
+func (s *Snapshot) Validate() error {
+	if s == nil {
+		return errors.New("snap: nil snapshot")
+	}
+	if s.Kind >= kindCount {
+		return fmt.Errorf("snap: unknown kind %d", s.Kind)
+	}
+	if len(s.Key) > maxString {
+		return fmt.Errorf("snap: key too long (%d bytes)", len(s.Key))
+	}
+	if len(s.Workload) > maxString {
+		return fmt.Errorf("snap: workload name too long (%d bytes)", len(s.Workload))
+	}
+	if s.KernelIndex < 0 {
+		return fmt.Errorf("snap: negative kernel index %d", s.KernelIndex)
+	}
+	if s.Cycle < 0 {
+		return fmt.Errorf("snap: negative cycle %d", s.Cycle)
+	}
+	if len(s.State) > maxState {
+		return fmt.Errorf("snap: state too large (%d bytes)", len(s.State))
+	}
+	return nil
+}
+
+// Encode serialises the snapshot, including the trailing CRC.
+func (s *Snapshot) Encode() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	w := NewWriter()
+	w.buf = append(w.buf, Magic...)
+	w.Uvarint(Version)
+	w.Uvarint(uint64(s.Kind))
+	w.String(s.Key)
+	w.String(s.Workload)
+	w.Uvarint(uint64(s.KernelIndex))
+	w.Varint(s.Cycle)
+	w.Bytes(s.State)
+	sum := crc32.ChecksumIEEE(w.buf)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, sum)
+	return w.buf, nil
+}
+
+// Decode parses a poisesnap container, transparently decompressing
+// gzip input. It never panics on malformed input, and every snapshot
+// it returns passes Validate.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("snap: gzip: %w", err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(zr, maxState+maxString*4))
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("snap: gzip: %w", err)
+		}
+		data = raw
+	}
+	if len(data) < len(Magic)+4 {
+		return nil, errors.New("snap: truncated container")
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return nil, errors.New("snap: bad magic")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("snap: checksum mismatch (got %08x want %08x)", got, want)
+	}
+	r := NewReader(body[len(Magic):])
+	if v := r.Uvarint(); r.Err() == nil && v != Version {
+		return nil, fmt.Errorf("snap: unsupported version %d (have %d)", v, Version)
+	}
+	s := &Snapshot{}
+	s.Kind = Kind(r.Uvarint())
+	s.Key = r.LimitedString(maxString)
+	s.Workload = r.LimitedString(maxString)
+	s.KernelIndex = int(r.Uvarint())
+	s.Cycle = r.Varint()
+	s.State = r.LimitedBytes(maxState)
+	if r.Len() != 0 && r.Err() == nil {
+		return nil, fmt.Errorf("snap: %d trailing bytes", r.Len())
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Writer builds a payload from varint-packed primitives. The zero
+// value is not usable; construct with NewWriter.
+type Writer struct {
+	buf []byte
+	tmp [binary.MaxVarintLen64]byte
+}
+
+// NewWriter returns an empty writer.
+func NewWriter() *Writer { return &Writer{buf: make([]byte, 0, 256)} }
+
+// Data returns the accumulated payload.
+func (w *Writer) Data() []byte { return w.buf }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	n := binary.PutUvarint(w.tmp[:], v)
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+
+// Varint appends a zigzag-encoded signed varint.
+func (w *Writer) Varint(v int64) {
+	n := binary.PutVarint(w.tmp[:], v)
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Float64 appends the IEEE-754 bits of v (exact round trip).
+func (w *Writer) Float64(v float64) { w.Uvarint(math.Float64bits(v)) }
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) Bytes(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader consumes a payload written by Writer. Errors are sticky: the
+// first malformed read poisons the reader, every later read returns a
+// zero value, and Err reports the failure — so decode functions can
+// read a whole schema unconditionally and check once. It never panics
+// on malformed input.
+type Reader struct {
+	buf []byte
+	err error
+}
+
+// NewReader wraps a payload.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the unread byte count.
+func (r *Reader) Len() int { return len(r.buf) }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("snap: "+format, args...)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.fail("corrupt uvarint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+// Varint reads a zigzag-encoded signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.fail("corrupt varint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+// Bool reads a boolean byte (anything but 0 or 1 is corrupt).
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.buf) == 0 {
+		r.fail("truncated bool")
+		return false
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	if b > 1 {
+		r.fail("corrupt bool %d", b)
+		return false
+	}
+	return b == 1
+}
+
+// Float64 reads IEEE-754 bits written by Writer.Float64.
+func (r *Reader) Float64() float64 { return math.Float64frombits(r.Uvarint()) }
+
+// Int reads a varint and checks it fits the platform int.
+func (r *Reader) Int() int {
+	v := r.Varint()
+	if int64(int(v)) != v {
+		r.fail("varint %d overflows int", v)
+		return 0
+	}
+	return int(v)
+}
+
+// Count reads a uvarint length and checks it against both the given
+// limit and the remaining payload size, so a corrupt count can neither
+// OOM a pre-allocation nor promise more elements than the payload
+// could possibly hold (each element is at least one byte).
+func (r *Reader) Count(limit int) int {
+	v := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(limit) || v > uint64(len(r.buf)) {
+		r.fail("count %d out of range (limit %d, %d bytes left)", v, limit, len(r.buf))
+		return 0
+	}
+	return int(v)
+}
+
+// LimitedBytes reads a length-prefixed byte slice of at most limit
+// bytes, copying out of the underlying buffer.
+func (r *Reader) LimitedBytes(limit int) []byte {
+	n := r.Count(limit)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[:n])
+	r.buf = r.buf[n:]
+	return out
+}
+
+// LimitedString reads a length-prefixed string of at most limit bytes.
+func (r *Reader) LimitedString(limit int) string {
+	n := r.Count(limit)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}

@@ -1,0 +1,228 @@
+package snap
+
+import (
+	"bytes"
+	"compress/gzip"
+	"errors"
+	"hash/crc32"
+	"io/fs"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleSnapshot() *Snapshot {
+	w := NewWriter()
+	w.Uvarint(42)
+	w.Varint(-7)
+	w.Bool(true)
+	w.Float64(3.14159)
+	w.String("payload")
+	return &Snapshot{
+		Kind:        KindBoundary,
+		Key:         "cfg|k0|t:8,4",
+		Workload:    "wl",
+		KernelIndex: 3,
+		Cycle:       123456,
+		State:       w.Data(),
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	sn := sampleSnapshot()
+	data, err := sn.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sn, got) {
+		t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", sn, got)
+	}
+}
+
+func TestSnapshotGzipTransparent(t *testing.T) {
+	sn := sampleSnapshot()
+	data, err := sn.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(data)
+	zw.Close()
+	got, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sn, got) {
+		t.Fatal("gzip round trip mismatch")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	sn := sampleSnapshot()
+	data, err := sn.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     nil,
+		"short":     data[:5],
+		"bad magic": append([]byte("NOTPOISESN"), data[10:]...),
+		"truncated": data[:len(data)-8],
+		"trailing":  append(append([]byte(nil), data...), 0, 0, 0, 0),
+	}
+	// Flip one payload byte: the CRC must catch it.
+	flipped := append([]byte(nil), data...)
+	flipped[len(Magic)+3] ^= 0xff
+	cases["bitflip"] = flipped
+	// Version skew: bump the version varint and refresh the CRC so the
+	// version check itself is what rejects it.
+	skew := append([]byte(nil), data...)
+	skew[len(Magic)] = 9
+	cases["version skew"] = recrc(skew)
+	for name, in := range cases {
+		if _, err := Decode(in); err == nil {
+			t.Errorf("%s: Decode accepted corrupt input", name)
+		}
+	}
+}
+
+// recrc rewrites the trailing CRC to match the (possibly mutated) body.
+func recrc(data []byte) []byte {
+	if len(data) < 4 {
+		return data
+	}
+	body := data[:len(data)-4]
+	out := append([]byte(nil), body...)
+	sum := crc32.ChecksumIEEE(body)
+	return append(out, byte(sum), byte(sum>>8), byte(sum>>16), byte(sum>>24))
+}
+
+func TestWriterReaderPrimitives(t *testing.T) {
+	w := NewWriter()
+	w.Uvarint(0)
+	w.Uvarint(math.MaxUint64)
+	w.Varint(math.MinInt64)
+	w.Varint(math.MaxInt64)
+	w.Bool(false)
+	w.Bool(true)
+	w.Float64(math.Inf(-1))
+	w.Float64(0.1)
+	w.Bytes([]byte{1, 2, 3})
+	w.String("hé")
+	r := NewReader(w.Data())
+	if got := r.Uvarint(); got != 0 {
+		t.Fatalf("uvarint: %d", got)
+	}
+	if got := r.Uvarint(); got != math.MaxUint64 {
+		t.Fatalf("uvarint max: %d", got)
+	}
+	if got := r.Varint(); got != math.MinInt64 {
+		t.Fatalf("varint min: %d", got)
+	}
+	if got := r.Varint(); got != math.MaxInt64 {
+		t.Fatalf("varint max: %d", got)
+	}
+	if r.Bool() || !r.Bool() {
+		t.Fatal("bools")
+	}
+	if got := r.Float64(); !math.IsInf(got, -1) {
+		t.Fatalf("float -inf: %v", got)
+	}
+	if got := r.Float64(); got != 0.1 {
+		t.Fatalf("float: %v", got)
+	}
+	if got := r.LimitedBytes(16); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("bytes: %v", got)
+	}
+	if got := r.LimitedString(16); got != "hé" {
+		t.Fatalf("string: %q", got)
+	}
+	if r.Err() != nil || r.Len() != 0 {
+		t.Fatalf("err=%v len=%d", r.Err(), r.Len())
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{0x80}) // unterminated varint
+	r.Uvarint()
+	if r.Err() == nil {
+		t.Fatal("expected error")
+	}
+	// Every later read is a zero-value no-op.
+	if r.Uvarint() != 0 || r.Varint() != 0 || r.Bool() || r.LimitedString(8) != "" {
+		t.Fatal("reads after error not zero")
+	}
+	// Count larger than remaining bytes is rejected.
+	r2 := NewReader([]byte{5, 1, 2})
+	if r2.Count(100) != 0 || r2.Err() == nil {
+		t.Fatal("count beyond payload accepted")
+	}
+	// Count beyond the limit is rejected even if bytes exist.
+	r3 := NewReader([]byte{5, 1, 2, 3, 4, 5})
+	if r3.Count(3) != 0 || r3.Err() == nil {
+		t.Fatal("count beyond limit accepted")
+	}
+	// Corrupt bool byte.
+	r4 := NewReader([]byte{7})
+	r4.Bool()
+	if r4.Err() == nil {
+		t.Fatal("bool 7 accepted")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := sampleSnapshot()
+	if st.Has(sn.Key) {
+		t.Fatal("Has before Save")
+	}
+	if _, err := st.Load(sn.Key); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing key: %v", err)
+	}
+	if err := st.Save(sn); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Has(sn.Key) {
+		t.Fatal("Has after Save")
+	}
+	got, err := st.Load(sn.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sn, got) {
+		t.Fatal("store round trip mismatch")
+	}
+	// Filenames are content addresses of the key, not raw keys.
+	base := filepath.Base(st.Path(sn.Key))
+	if strings.Contains(base, "|") || !strings.HasSuffix(base, ".poisesnap") {
+		t.Fatalf("unexpected store filename %q", base)
+	}
+	if err := st.Delete(sn.Key); err != nil {
+		t.Fatal(err)
+	}
+	if st.Has(sn.Key) {
+		t.Fatal("Has after Delete")
+	}
+	if err := st.Delete(sn.Key); err != nil {
+		t.Fatal("double delete should be a no-op")
+	}
+	// No leftover temp files.
+	if err := st.Save(sn); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, ".tmp-*"))
+	if len(matches) != 0 {
+		t.Fatalf("temp files left behind: %v", matches)
+	}
+}

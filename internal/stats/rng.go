@@ -30,6 +30,13 @@ func (r *RNG) Fork(id int64) *RNG {
 	return NewRNG(int64(r.Uint64() ^ (uint64(id) * 0x9e3779b97f4a7c15)))
 }
 
+// State returns the generator's internal state, for checkpointing.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState restores a state captured by State, resuming the stream at
+// exactly the point it was captured.
+func (r *RNG) SetState(s [4]uint64) { r.s = s }
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.
